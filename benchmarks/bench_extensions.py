@@ -1,0 +1,146 @@
+"""Extension experiments (the paper's §VI future work) and ablations.
+
+* defect-rate sweep — how fast success degrades beyond the paper's 10 %;
+* redundancy / yield analysis — spare rows/columns against mixed
+  stuck-open + stuck-closed defects;
+* ablation — HBA with backtracking disabled (pure greedy) and the dual
+  (f vs f̄) selection contribution.
+"""
+
+from __future__ import annotations
+
+from conftest import sample_size, save_result
+
+from repro.boolean import BooleanFunction, Cover
+from repro.crossbar.metrics import choose_dual
+from repro.circuits import all_table1_names, get_benchmark
+from repro.experiments.defect_sweep import run_defect_sweep
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.experiments.redundancy import run_redundancy_analysis
+from repro.experiments.report import format_table
+
+
+def test_defect_rate_sweep(benchmark):
+    samples = sample_size(25)
+    result = benchmark.pedantic(
+        run_defect_sweep,
+        args=("rd73",),
+        kwargs={
+            "rates": (0.0, 0.05, 0.10, 0.15, 0.20),
+            "sample_size": samples,
+            "seed": 11,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_result("defect_sweep", text)
+    print("\n" + text)
+    # Success degrades monotonically (up to MC noise) and EA >= HBA.
+    exact_rates = [point.success_rates["exact"] for point in result.points]
+    assert exact_rates[0] >= exact_rates[-1]
+    for point in result.points:
+        assert point.success_rates["exact"] >= point.success_rates["hybrid"] - 0.1
+
+
+def test_redundancy_yield_analysis(benchmark):
+    samples = sample_size(25)
+    result = benchmark.pedantic(
+        run_redundancy_analysis,
+        args=("rd53",),
+        kwargs={
+            "defect_rate": 0.10,
+            "stuck_open_fraction": 0.95,
+            "sample_size": samples,
+            "redundancy_levels": ((0, 0), (2, 2), (4, 4), (8, 8), (16, 16)),
+            "seed": 13,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_result("redundancy", text)
+    print("\n" + text)
+    yields = [point.yields["hybrid"] for point in result.points]
+    # Redundancy buys yield: the largest configuration beats the optimum-size
+    # crossbar, which cannot tolerate stuck-closed defects at all.
+    assert yields[-1] > yields[0]
+
+
+def test_ablation_backtracking_and_output_assignment(benchmark):
+    """HBA vs greedy (no backtracking): the backtracking step buys success."""
+    samples = sample_size(40)
+    function = get_benchmark("rd73")
+
+    def run():
+        result = run_mapping_monte_carlo(
+            function,
+            defect_rate=0.10,
+            sample_size=samples,
+            algorithms=("hybrid", "greedy", "exact"),
+            seed=21,
+        )
+        rows = [
+            [name, f"{outcome.success_rate:.2f}", f"{outcome.mean_runtime * 1e3:.2f} ms"]
+            for name, outcome in result.outcomes.items()
+        ]
+        return result, format_table(
+            ["algorithm", "success rate", "mean runtime"],
+            rows,
+            title=f"Ablation on rd73 at 10% defects ({samples} samples)",
+        )
+
+    result, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_backtracking", text)
+    print("\n" + text)
+    assert result.outcome("hybrid").success_rate >= result.outcome("greedy").success_rate
+    assert result.outcome("exact").success_rate >= result.outcome("hybrid").success_rate
+
+
+def test_ablation_dual_selection(benchmark):
+    """Area saved by mapping the cheaper of f and f̄ (Algorithm 1, step 1)."""
+
+    def run():
+        rows = []
+        total_saved = 0
+        for name in all_table1_names():
+            function = get_benchmark(name, variant="table1")
+            complement_products = None
+            from repro.circuits import get_benchmark_pair
+
+            original, complement = get_benchmark_pair(name)
+            if complement is None:
+                continue
+            from repro.crossbar.metrics import two_level_area_of
+
+            original_area = two_level_area_of(original)
+            complement_area = two_level_area_of(complement)
+            chosen = min(original_area, complement_area)
+            saved = original_area - chosen
+            total_saved += saved
+            rows.append([name, original_area, complement_area, chosen, saved])
+        table = format_table(
+            ["bench", "area(f)", "area(f̄)", "dual-selected", "saved"],
+            rows,
+            title="Dual (f vs f̄) selection ablation on the Table I benchmarks",
+        )
+        return total_saved, table
+
+    total_saved, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_dual", text)
+    print("\n" + text)
+    # The paper's sqrt8/t481/b12 rows all have cheaper complements, so the
+    # dual optimisation must save area overall.
+    assert total_saved > 0
+
+
+def test_munkres_scaling(benchmark):
+    """Pure-Python Munkres cost on a mid-size zero/one cost matrix."""
+    import numpy as np
+
+    from repro.mapping.munkres import solve_assignment
+
+    rng = np.random.default_rng(0)
+    cost = (rng.random((80, 80)) < 0.2).astype(float)
+    result = benchmark(lambda: solve_assignment(cost, backend="python"))
+    assert len(result.pairs) == 80

@@ -1,0 +1,49 @@
+"""Regenerates Fig. 6: two-level vs multi-level area on random functions.
+
+Paper claim: the fraction of random single-output functions whose
+multi-level design is cheaper falls from 65 % at 8 inputs to 33 % at 15
+inputs, and rises with the number of products.  Our NAND mapper is weaker
+than ABC so the absolute rates are lower, but both trends must hold.
+"""
+
+from __future__ import annotations
+
+from conftest import full_scale, sample_size, save_result
+
+from repro.experiments.figure6 import Figure6Config, run_figure6
+from repro.experiments.report import format_table
+
+
+def _config() -> Figure6Config:
+    input_sizes = (8, 9, 10, 15) if full_scale() else (8, 10, 15)
+    return Figure6Config(input_sizes=input_sizes, sample_size=sample_size(60), seed=42)
+
+
+def test_figure6_regeneration(benchmark):
+    config = _config()
+    result = benchmark.pedantic(run_figure6, args=(config,), rounds=1, iterations=1)
+
+    rates = result.success_rates()
+    rows = []
+    for num_inputs, panel in sorted(result.panels.items()):
+        lower, upper = panel.success_rate_by_product_split()
+        rows.append(
+            [num_inputs, len(panel.samples), f"{panel.success_rate:.0%}",
+             f"{lower:.0%}", f"{upper:.0%}"]
+        )
+    summary = format_table(
+        ["inputs", "samples", "success rate", "low-P half", "high-P half"],
+        rows,
+        title="Figure 6 summary (multi-level cheaper than two-level)",
+    )
+    text = summary + "\n\n" + result.render()
+    save_result("figure6", text)
+    print("\n" + text)
+
+    # Trend 1: success rate does not increase with the input size.
+    ordered = [rates[n] for n in sorted(rates)]
+    assert ordered[0] >= ordered[-1]
+    # Trend 2: within the widest panel, more products help the multi-level
+    # design (allow a small tolerance for Monte-Carlo noise).
+    lower, upper = result.panels[min(rates)].success_rate_by_product_split()
+    assert upper >= lower - 0.10

@@ -1,0 +1,44 @@
+"""Regenerates Table I: benchmark two-level vs multi-level area costs.
+
+Paper claim: mapping multi-output benchmarks through a generic EDA
+multi-level flow inflates the crossbar area dramatically (e.g. bw, rd84),
+while (nearly) single-output circuits such as t481 and cordic are the
+exception where the multi-level design wins.
+"""
+
+from __future__ import annotations
+
+from conftest import full_scale, save_result
+
+from repro.circuits.specs import all_table1_names
+from repro.experiments.table1 import run_table1
+
+
+def _names() -> list[str]:
+    if full_scale():
+        return all_table1_names()
+    # Representative subset: multi-output losers plus the two winners.
+    return ["rd53", "con1", "misex1", "sqrt8", "b12", "t481"]
+
+
+def test_table1_regeneration(benchmark):
+    names = _names()
+    result = benchmark.pedantic(run_table1, args=(names,), rounds=1, iterations=1)
+    text = result.render()
+    save_result("table1", text)
+    print("\n" + text)
+
+    # Two-level areas must match the paper exactly (same formula, same P).
+    for row in result.rows:
+        if row.paper_two_level_original is not None:
+            assert row.two_level_original == row.paper_two_level_original
+
+    # Shape: multi-level synthesis through a generic flow is worse for the
+    # multi-output benchmarks, exactly as the paper's Table I shows.  (The
+    # paper's t481/cordic exception relies on the internal structure of the
+    # real MCNC functions, which the synthetic stand-ins do not have; see
+    # EXPERIMENTS.md for the discussion.)
+    for name in ("rd53", "misex1", "b12"):
+        if name in names:
+            row = result.row(name)
+            assert row.multi_level_original > row.two_level_original

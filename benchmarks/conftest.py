@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artefact (Fig. 6, Table I, Table II) and every extension
+experiment has one module here.  Runs are deliberately scaled down by
+default so ``pytest benchmarks/ --benchmark-only`` finishes in a few
+minutes; set the environment variables below to reproduce the paper-scale
+runs (200 Monte-Carlo samples, all 16 benchmarks, the full input-size
+sweep):
+
+* ``REPRO_BENCH_SAMPLES``   — Monte-Carlo samples per point (default 30)
+* ``REPRO_BENCH_FULL=1``    — use every benchmark / input size instead of
+  the representative subset.
+
+Rendered tables are written to ``benchmarks/results/`` and printed to the
+terminal (run with ``-s`` to see them inline).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def sample_size(default: int = 30) -> int:
+    """Monte-Carlo samples per experiment point."""
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+def full_scale() -> bool:
+    """True when the paper-scale configuration was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    """The benchmarks/results directory (created on demand)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

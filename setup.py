@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The canonical project metadata lives in ``pyproject.toml``; this shim only
+exists so the package can be installed in environments whose setuptools is
+too old to build PEP 517 editable wheels (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

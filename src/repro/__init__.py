@@ -1,0 +1,99 @@
+"""repro — Logic Synthesis and Defect Tolerance for Memristive Crossbar Arrays.
+
+A from-scratch Python reproduction of Tunali & Altun, DATE 2018.  The
+package is organised by substrate:
+
+* :mod:`repro.boolean` — cubes, covers, multi-output functions, PLA I/O,
+  minimisation and complementation;
+* :mod:`repro.synth` — NAND technology mapping (the ABC stand-in) used by
+  the multi-level designs;
+* :mod:`repro.crossbar` — memristor devices, crossbar arrays, two-level
+  and multi-level designs, phase state machines and the behavioural
+  simulator;
+* :mod:`repro.defects` — the stuck-at defect model and defect injection;
+* :mod:`repro.mapping` — the defect-tolerant mapping algorithms (hybrid
+  HBA, exact EA) built on function/crossbar matrices and Munkres
+  assignment;
+* :mod:`repro.circuits` — benchmark circuits;
+* :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper plus the future-work extensions.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.boolean import BooleanFunction, Cover, Cube, parse_pla, parse_sop
+from repro.circuits import get_benchmark, list_benchmarks
+from repro.crossbar import (
+    CrossbarArray,
+    CrossbarController,
+    MultiLevelDesign,
+    TwoLevelDesign,
+    choose_dual,
+    evaluate_multi_level,
+    evaluate_two_level,
+    two_level_area_cost,
+    verify_layout,
+)
+from repro.defects import DefectMap, DefectProfile, DefectType, inject_uniform
+from repro.exceptions import ReproError
+from repro.experiments import (
+    run_defect_sweep,
+    run_figure6,
+    run_mapping_monte_carlo,
+    run_redundancy_analysis,
+    run_table1,
+    run_table2,
+)
+from repro.mapping import (
+    CrossbarMatrix,
+    ExactMapper,
+    FunctionMatrix,
+    HybridMapper,
+    MappingResult,
+    map_with_dual_selection,
+    validate_both,
+)
+from repro.synth import NandNetwork, best_network, technology_map
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Cube",
+    "Cover",
+    "BooleanFunction",
+    "parse_sop",
+    "parse_pla",
+    "TwoLevelDesign",
+    "MultiLevelDesign",
+    "CrossbarArray",
+    "CrossbarController",
+    "two_level_area_cost",
+    "choose_dual",
+    "evaluate_two_level",
+    "evaluate_multi_level",
+    "verify_layout",
+    "NandNetwork",
+    "technology_map",
+    "best_network",
+    "DefectType",
+    "DefectProfile",
+    "DefectMap",
+    "inject_uniform",
+    "FunctionMatrix",
+    "CrossbarMatrix",
+    "HybridMapper",
+    "ExactMapper",
+    "MappingResult",
+    "map_with_dual_selection",
+    "validate_both",
+    "get_benchmark",
+    "list_benchmarks",
+    "run_figure6",
+    "run_table1",
+    "run_table2",
+    "run_mapping_monte_carlo",
+    "run_defect_sweep",
+    "run_redundancy_analysis",
+]

@@ -1,0 +1,371 @@
+"""Sum-of-products covers (sets of cubes) over a fixed input count.
+
+A :class:`Cover` is the single-output two-level representation used
+throughout the library: the two-level crossbar design maps each cube of a
+cover onto one horizontal line, and the multi-level synthesiser starts
+from a cover before factoring it.
+
+The class bundles the classical cover algorithms needed by the paper:
+
+* evaluation and truth-table expansion,
+* Shannon cofactoring,
+* tautology checking (unate reduction + binate splitting),
+* containment tests,
+* cube-count / literal-count statistics used by the area-cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.boolean.cube import DONT_CARE, NEGATIVE, POSITIVE, Cube
+from repro.exceptions import BooleanFunctionError
+
+
+class Cover:
+    """An immutable list of cubes interpreted as their Boolean OR.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of input variables every cube must range over.
+    cubes:
+        The product terms.  Duplicates are preserved only if
+        ``deduplicate`` is False (the default removes them).
+    """
+
+    __slots__ = ("_num_inputs", "_cubes")
+
+    def __init__(
+        self,
+        num_inputs: int,
+        cubes: Iterable[Cube] = (),
+        *,
+        deduplicate: bool = True,
+    ):
+        if num_inputs < 0:
+            raise BooleanFunctionError("num_inputs must be non-negative")
+        self._num_inputs = int(num_inputs)
+        collected: list[Cube] = []
+        seen: set[Cube] = set()
+        for cube in cubes:
+            if not isinstance(cube, Cube):
+                cube = Cube(cube)
+            if cube.num_inputs != self._num_inputs:
+                raise BooleanFunctionError(
+                    f"cube {cube!r} has {cube.num_inputs} inputs, cover expects "
+                    f"{self._num_inputs}"
+                )
+            if deduplicate:
+                if cube in seen:
+                    continue
+                seen.add(cube)
+            collected.append(cube)
+        self._cubes = tuple(collected)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, num_inputs: int, rows: Iterable[str]) -> "Cover":
+        """Build a cover from PLA-style cube strings."""
+        return cls(num_inputs, (Cube.from_string(row) for row in rows))
+
+    @classmethod
+    def from_minterms(cls, num_inputs: int, minterms: Iterable[int]) -> "Cover":
+        """Build a cover with one cube per integer minterm."""
+        return cls(
+            num_inputs, (Cube.from_minterm(m, num_inputs) for m in minterms)
+        )
+
+    @classmethod
+    def zero(cls, num_inputs: int) -> "Cover":
+        """The empty cover (constant 0)."""
+        return cls(num_inputs, ())
+
+    @classmethod
+    def one(cls, num_inputs: int) -> "Cover":
+        """The tautological cover (constant 1)."""
+        return cls(num_inputs, (Cube.full_dont_care(num_inputs),))
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables."""
+        return self._num_inputs
+
+    @property
+    def cubes(self) -> tuple[Cube, ...]:
+        """The product terms of the cover."""
+        return self._cubes
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __getitem__(self, index: int) -> Cube:
+        return self._cubes[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return (
+            self._num_inputs == other._num_inputs
+            and set(self._cubes) == set(other._cubes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_inputs, frozenset(self._cubes)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Cover(num_inputs={self._num_inputs}, "
+            f"cubes={[c.to_string() for c in self._cubes]})"
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def num_products(self) -> int:
+        """Number of product terms (cubes)."""
+        return len(self._cubes)
+
+    def literal_count(self) -> int:
+        """Total number of literals over all cubes."""
+        return sum(cube.literal_count() for cube in self._cubes)
+
+    def support(self) -> frozenset[int]:
+        """Union of the supports of all cubes."""
+        result: set[int] = set()
+        for cube in self._cubes:
+            result |= cube.support()
+        return frozenset(result)
+
+    def is_empty(self) -> bool:
+        """True for the constant-0 cover."""
+        return not self._cubes
+
+    def has_full_dont_care(self) -> bool:
+        """True if some cube is the universal cube."""
+        return any(cube.is_full_dont_care() for cube in self._cubes)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Sequence[int] | Sequence[bool]) -> bool:
+        """Evaluate the OR of all cubes on a complete assignment."""
+        return any(cube.evaluate(assignment) for cube in self._cubes)
+
+    def truth_table(self) -> list[bool]:
+        """Exhaustive truth table; index ``i`` encodes input ``j`` in bit ``j``.
+
+        Only sensible for small input counts (the table has ``2**n`` rows).
+        """
+        if self._num_inputs > 24:
+            raise BooleanFunctionError(
+                "refusing to expand a truth table with more than 2**24 rows"
+            )
+        table = [False] * (1 << self._num_inputs)
+        for cube in self._cubes:
+            for minterm in cube.minterms():
+                table[minterm] = True
+        return table
+
+    def minterms(self) -> set[int]:
+        """The set of integer minterms covered (small input counts only)."""
+        result: set[int] = set()
+        for cube in self._cubes:
+            result.update(cube.minterms())
+        return result
+
+    def count_minterms(self) -> int:
+        """Exact number of covered minterms via inclusion–exclusion-free union.
+
+        Implemented by recursive splitting so it stays exact without
+        enumerating all ``2**n`` points for sparse covers, but falls back to
+        enumeration when the cover is small.
+        """
+        if self.is_empty():
+            return 0
+        if self.has_full_dont_care():
+            return 1 << self._num_inputs
+        return len(self.minterms()) if self._num_inputs <= 20 else self._count_recursive()
+
+    def _count_recursive(self) -> int:
+        cover = self
+        if cover.is_empty():
+            return 0
+        if cover.has_full_dont_care():
+            return 1 << cover.num_inputs
+        variable = cover.most_binate_variable()
+        if variable is None:
+            variable = next(iter(cover.support()))
+        low = cover.cofactor(variable, 0)._count_recursive()
+        high = cover.cofactor(variable, 1)._count_recursive()
+        return low + high
+
+    # ------------------------------------------------------------------
+    # Cofactors and structural queries
+    # ------------------------------------------------------------------
+    def cofactor(self, variable: int, value: int) -> "Cover":
+        """Shannon cofactor of the whole cover."""
+        cubes = []
+        for cube in self._cubes:
+            reduced = cube.cofactor(variable, value)
+            if reduced is not None:
+                cubes.append(reduced)
+        return Cover(self._num_inputs, cubes)
+
+    def cofactor_cube(self, cube: Cube) -> "Cover":
+        """Cofactor against an arbitrary cube (generalised cofactor)."""
+        result = []
+        for own in self._cubes:
+            if not own.intersects(cube):
+                continue
+            values = []
+            for mine, theirs in zip(own.values, cube.values):
+                if theirs == DONT_CARE:
+                    values.append(mine)
+                else:
+                    values.append(DONT_CARE)
+            result.append(Cube(values))
+        return Cover(self._num_inputs, result)
+
+    def variable_polarity_counts(self, variable: int) -> tuple[int, int]:
+        """``(negative, positive)`` literal counts of ``variable``."""
+        negative = positive = 0
+        for cube in self._cubes:
+            value = cube[variable]
+            if value == NEGATIVE:
+                negative += 1
+            elif value == POSITIVE:
+                positive += 1
+        return negative, positive
+
+    def is_unate_in(self, variable: int) -> bool:
+        """True if ``variable`` appears in only one polarity."""
+        negative, positive = self.variable_polarity_counts(variable)
+        return negative == 0 or positive == 0
+
+    def is_unate(self) -> bool:
+        """True if the cover is unate in every variable of its support."""
+        return all(self.is_unate_in(v) for v in self.support())
+
+    def most_binate_variable(self) -> int | None:
+        """The best splitting variable for recursive algorithms.
+
+        Prefers the variable appearing in both polarities in the most cubes
+        (classic espresso heuristic); returns ``None`` for a unate cover
+        with empty support.
+        """
+        best_variable = None
+        best_score = -1
+        for variable in range(self._num_inputs):
+            negative, positive = self.variable_polarity_counts(variable)
+            if negative == 0 and positive == 0:
+                continue
+            if negative > 0 and positive > 0:
+                score = 2 * (negative + positive) + min(negative, positive)
+            else:
+                score = negative + positive
+            if score > best_score:
+                best_score = score
+                best_variable = variable
+        return best_variable
+
+    # ------------------------------------------------------------------
+    # Containment and tautology
+    # ------------------------------------------------------------------
+    def is_tautology(self) -> bool:
+        """True if the cover evaluates to 1 on every assignment."""
+        return self._tautology_recursive(self)
+
+    @staticmethod
+    def _tautology_recursive(cover: "Cover") -> bool:
+        if cover.has_full_dont_care():
+            return True
+        if cover.is_empty():
+            return False
+        # Unate reduction: a unate cover is a tautology iff it contains the
+        # universal cube, which was already checked above.
+        support = cover.support()
+        if all(cover.is_unate_in(v) for v in support):
+            return False
+        variable = cover.most_binate_variable()
+        if variable is None:
+            return False
+        return Cover._tautology_recursive(
+            cover.cofactor(variable, 0)
+        ) and Cover._tautology_recursive(cover.cofactor(variable, 1))
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """True if every minterm of ``cube`` is covered by the cover."""
+        return self.cofactor_cube(cube).is_tautology()
+
+    def covers(self, other: "Cover") -> bool:
+        """True if this cover contains every minterm of ``other``."""
+        return all(self.covers_cube(cube) for cube in other)
+
+    def equivalent(self, other: "Cover") -> bool:
+        """Semantic equality of two covers."""
+        return self.covers(other) and other.covers(self)
+
+    # ------------------------------------------------------------------
+    # Simple manipulations
+    # ------------------------------------------------------------------
+    def add_cube(self, cube: Cube) -> "Cover":
+        """Return a new cover with ``cube`` appended."""
+        return Cover(self._num_inputs, (*self._cubes, cube))
+
+    def union(self, other: "Cover") -> "Cover":
+        """OR of two covers over the same inputs."""
+        if other.num_inputs != self._num_inputs:
+            raise BooleanFunctionError("cannot union covers with different widths")
+        return Cover(self._num_inputs, (*self._cubes, *other._cubes))
+
+    def intersection(self, other: "Cover") -> "Cover":
+        """AND of two covers (pairwise cube intersection)."""
+        if other.num_inputs != self._num_inputs:
+            raise BooleanFunctionError(
+                "cannot intersect covers with different widths"
+            )
+        cubes = []
+        for a, b in itertools.product(self._cubes, other._cubes):
+            c = a.intersection(b)
+            if c is not None:
+                cubes.append(c)
+        return Cover(self._num_inputs, cubes)
+
+    def without_contained_cubes(self) -> "Cover":
+        """Drop every cube that is single-cube-contained in another cube."""
+        kept: list[Cube] = []
+        cubes = sorted(self._cubes, key=lambda c: -c.num_minterms())
+        for cube in cubes:
+            if any(other.contains(cube) for other in kept):
+                continue
+            kept.append(cube)
+        return Cover(self._num_inputs, kept)
+
+    def sorted_by_size(self) -> "Cover":
+        """Deterministic ordering: largest cubes first, then lexicographic."""
+        cubes = sorted(
+            self._cubes, key=lambda c: (-c.num_minterms(), c.to_string())
+        )
+        return Cover(self._num_inputs, cubes, deduplicate=False)
+
+    def to_strings(self) -> list[str]:
+        """PLA-style text rows for every cube."""
+        return [cube.to_string() for cube in self._cubes]
+
+    def to_expression(self, input_names: Sequence[str] | None = None) -> str:
+        """Human-readable sum-of-products expression."""
+        if self.is_empty():
+            return "0"
+        return " | ".join(
+            f"({cube.to_expression(input_names)})" for cube in self._cubes
+        )

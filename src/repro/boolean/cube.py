@@ -1,0 +1,340 @@
+"""Cube (product-term) representation for two-level logic.
+
+A *cube* over ``n`` input variables assigns each variable one of three
+values:
+
+* ``0`` — the variable appears complemented (negative literal),
+* ``1`` — the variable appears uncomplemented (positive literal),
+* ``2`` — the variable does not appear (don't care).
+
+This is the classical positional-cube notation used by two-level
+minimisers (espresso, MV-SIS) and maps one-to-one onto a row of the
+paper's *function matrix*: a literal of either polarity occupies one
+crossbar column in the NAND plane.
+
+Cubes are immutable and hashable so they can be stored in sets and used
+as dictionary keys by the minimiser and the synthesis passes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import BooleanFunctionError
+
+#: Value of a complemented (negative) literal in positional-cube notation.
+NEGATIVE = 0
+#: Value of an uncomplemented (positive) literal in positional-cube notation.
+POSITIVE = 1
+#: Value of an absent variable (don't care) in positional-cube notation.
+DONT_CARE = 2
+
+_CHAR_TO_VALUE = {"0": NEGATIVE, "1": POSITIVE, "-": DONT_CARE, "2": DONT_CARE}
+_VALUE_TO_CHAR = {NEGATIVE: "0", POSITIVE: "1", DONT_CARE: "-"}
+
+
+class Cube:
+    """An immutable product term over a fixed number of input variables.
+
+    Parameters
+    ----------
+    values:
+        One entry per input variable, each of :data:`NEGATIVE`,
+        :data:`POSITIVE` or :data:`DONT_CARE`.
+
+    Examples
+    --------
+    >>> c = Cube.from_string("1-0")
+    >>> c.literal_count()
+    2
+    >>> c.evaluate([1, 0, 0])
+    True
+    >>> c.evaluate([1, 1, 1])
+    False
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Iterable[int]):
+        values = tuple(int(v) for v in values)
+        for value in values:
+            if value not in (NEGATIVE, POSITIVE, DONT_CARE):
+                raise BooleanFunctionError(
+                    f"cube entries must be 0, 1 or 2 (don't care); got {value!r}"
+                )
+        self._values = values
+        self._hash = hash(values)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Build a cube from PLA-style text, e.g. ``"1-0"``."""
+        try:
+            return cls(_CHAR_TO_VALUE[ch] for ch in text.strip())
+        except KeyError as exc:
+            raise BooleanFunctionError(
+                f"invalid cube character {exc.args[0]!r} in {text!r}"
+            ) from None
+
+    @classmethod
+    def full_dont_care(cls, num_inputs: int) -> "Cube":
+        """The universal cube (tautology) over ``num_inputs`` variables."""
+        return cls([DONT_CARE] * num_inputs)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, num_inputs: int) -> "Cube":
+        """Build the minterm cube for integer ``minterm``.
+
+        Bit ``i`` of ``minterm`` (LSB first) gives the polarity of input
+        ``i``.
+        """
+        if not 0 <= minterm < (1 << num_inputs):
+            raise BooleanFunctionError(
+                f"minterm {minterm} out of range for {num_inputs} inputs"
+            )
+        return cls(((minterm >> i) & 1) for i in range(num_inputs))
+
+    @classmethod
+    def from_literals(
+        cls, literals: Mapping[int, bool] | Iterable[tuple[int, bool]], num_inputs: int
+    ) -> "Cube":
+        """Build a cube from ``{variable_index: polarity}`` pairs."""
+        values = [DONT_CARE] * num_inputs
+        items = literals.items() if isinstance(literals, Mapping) else literals
+        for index, polarity in items:
+            if not 0 <= index < num_inputs:
+                raise BooleanFunctionError(
+                    f"literal index {index} out of range for {num_inputs} inputs"
+                )
+            values[index] = POSITIVE if polarity else NEGATIVE
+        return cls(values)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> tuple[int, ...]:
+        """The positional-cube entries as a tuple."""
+        return self._values
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables the cube is defined over."""
+        return len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: int) -> int:
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r})"
+
+    def to_string(self) -> str:
+        """PLA-style text form, e.g. ``"1-0"``."""
+        return "".join(_VALUE_TO_CHAR[v] for v in self._values)
+
+    # ------------------------------------------------------------------
+    # Literal queries
+    # ------------------------------------------------------------------
+    def literal_count(self) -> int:
+        """Number of literals (non-don't-care positions)."""
+        return sum(1 for v in self._values if v != DONT_CARE)
+
+    def literals(self) -> list[tuple[int, bool]]:
+        """``(variable_index, polarity)`` pairs for every literal."""
+        return [
+            (i, v == POSITIVE)
+            for i, v in enumerate(self._values)
+            if v != DONT_CARE
+        ]
+
+    def support(self) -> frozenset[int]:
+        """Indices of the variables that appear in the cube."""
+        return frozenset(i for i, v in enumerate(self._values) if v != DONT_CARE)
+
+    def is_full_dont_care(self) -> bool:
+        """True if the cube is the universal cube (no literals)."""
+        return all(v == DONT_CARE for v in self._values)
+
+    def is_minterm(self) -> bool:
+        """True if every variable appears (a single point of the space)."""
+        return all(v != DONT_CARE for v in self._values)
+
+    def num_minterms(self) -> int:
+        """Number of minterms covered (``2 ** free_variables``)."""
+        free = sum(1 for v in self._values if v == DONT_CARE)
+        return 1 << free
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Sequence[int] | Sequence[bool]) -> bool:
+        """Evaluate the product term under a complete input assignment."""
+        if len(assignment) != len(self._values):
+            raise BooleanFunctionError(
+                f"assignment has {len(assignment)} values, cube expects "
+                f"{len(self._values)}"
+            )
+        for value, bit in zip(self._values, assignment):
+            if value == DONT_CARE:
+                continue
+            if value != (1 if bit else 0):
+                return False
+        return True
+
+    def contains(self, other: "Cube") -> bool:
+        """True if every minterm of ``other`` is covered by this cube."""
+        self._check_width(other)
+        for mine, theirs in zip(self._values, other._values):
+            if mine == DONT_CARE:
+                continue
+            if theirs != mine:
+                return False
+        return True
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the two cubes share at least one minterm."""
+        self._check_width(other)
+        for mine, theirs in zip(self._values, other._values):
+            if mine != DONT_CARE and theirs != DONT_CARE and mine != theirs:
+                return False
+        return True
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The cube covering exactly the shared minterms, or ``None``."""
+        self._check_width(other)
+        result = []
+        for mine, theirs in zip(self._values, other._values):
+            if mine == DONT_CARE:
+                result.append(theirs)
+            elif theirs == DONT_CARE or theirs == mine:
+                result.append(mine)
+            else:
+                return None
+        return Cube(result)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables in which the cubes have opposite literals."""
+        self._check_width(other)
+        return sum(
+            1
+            for mine, theirs in zip(self._values, other._values)
+            if mine != DONT_CARE and theirs != DONT_CARE and mine != theirs
+        )
+
+    def consensus(self, other: "Cube") -> "Cube | None":
+        """Consensus cube when the distance is exactly one, else ``None``."""
+        if self.distance(other) != 1:
+            return None
+        result = []
+        for mine, theirs in zip(self._values, other._values):
+            if mine == DONT_CARE:
+                result.append(theirs)
+            elif theirs == DONT_CARE:
+                result.append(mine)
+            elif mine == theirs:
+                result.append(mine)
+            else:
+                result.append(DONT_CARE)
+        return Cube(result)
+
+    def merge(self, other: "Cube") -> "Cube | None":
+        """Merge two cubes that differ in exactly one literal polarity.
+
+        Returns the enlarged cube (the classic ``x·a + x̄·a = a`` merge) or
+        ``None`` when the cubes are not mergeable.
+        """
+        self._check_width(other)
+        differing = -1
+        for i, (mine, theirs) in enumerate(zip(self._values, other._values)):
+            if mine == theirs:
+                continue
+            if mine == DONT_CARE or theirs == DONT_CARE:
+                return None
+            if differing >= 0:
+                return None
+            differing = i
+        if differing < 0:
+            return self
+        merged = list(self._values)
+        merged[differing] = DONT_CARE
+        return Cube(merged)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def cofactor(self, variable: int, value: int) -> "Cube | None":
+        """Shannon cofactor with respect to ``variable = value``.
+
+        Returns ``None`` when the cube does not intersect that half-space.
+        """
+        if value not in (0, 1):
+            raise BooleanFunctionError("cofactor value must be 0 or 1")
+        current = self._values[variable]
+        if current != DONT_CARE and current != value:
+            return None
+        new_values = list(self._values)
+        new_values[variable] = DONT_CARE
+        return Cube(new_values)
+
+    def restrict(self, variable: int, value: int) -> "Cube":
+        """Return a copy with ``variable`` forced to ``value``."""
+        if value not in (NEGATIVE, POSITIVE, DONT_CARE):
+            raise BooleanFunctionError("restrict value must be 0, 1 or 2")
+        new_values = list(self._values)
+        new_values[variable] = value
+        return Cube(new_values)
+
+    def expand_variable(self, variable: int) -> "Cube":
+        """Return a copy with the literal on ``variable`` removed."""
+        return self.restrict(variable, DONT_CARE)
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate the integer minterms covered by the cube (LSB = input 0)."""
+        free = [i for i, v in enumerate(self._values) if v == DONT_CARE]
+        base = 0
+        for i, v in enumerate(self._values):
+            if v == POSITIVE:
+                base |= 1 << i
+        for combo in range(1 << len(free)):
+            value = base
+            for j, var in enumerate(free):
+                if (combo >> j) & 1:
+                    value |= 1 << var
+            yield value
+
+    def to_expression(self, input_names: Sequence[str] | None = None) -> str:
+        """Human-readable product term, e.g. ``"x1 & ~x3"``."""
+        if self.is_full_dont_care():
+            return "1"
+        names = list(input_names) if input_names is not None else [
+            f"x{i + 1}" for i in range(len(self._values))
+        ]
+        parts = []
+        for index, polarity in self.literals():
+            parts.append(names[index] if polarity else f"~{names[index]}")
+        return " & ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_width(self, other: "Cube") -> None:
+        if len(self._values) != len(other._values):
+            raise BooleanFunctionError(
+                f"cube width mismatch: {len(self._values)} vs {len(other._values)}"
+            )

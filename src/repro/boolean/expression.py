@@ -1,0 +1,177 @@
+"""A small Boolean-expression front-end for examples and tests.
+
+The paper's running example is written as
+``f = x1 + x2 + x3 + x4 + x5 x6 x7 x8``; this module parses exactly that
+kind of sum-of-products notation (plus a few convenience operators) into
+a :class:`~repro.boolean.cover.Cover`, so examples can state functions the
+way the paper does.
+
+Grammar (whitespace-separated or operator-separated)::
+
+    expr     := term ('+' | '|' term)*
+    term     := factor (('*' | '&' | ' ') factor)*
+    factor   := NAME | NAME "'" | '~' NAME | '!' NAME | '(' expr ')'
+
+Adjacency means AND, ``+`` means OR, ``'`` (postfix), ``~`` or ``!``
+(prefix) mean NOT of a variable.  General negation of sub-expressions is
+not supported — the paper's notation never needs it and keeping the
+grammar two-level makes the cover construction direct.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.exceptions import ExpressionError
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<op>[+|&*()'~!]))"
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split an expression into variable names and operator tokens."""
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise ExpressionError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        if match.group("name"):
+            tokens.append(match.group("name"))
+        else:
+            tokens.append(match.group("op"))
+        position = match.end()
+    return tokens
+
+
+def parse_sop(
+    text: str, *, input_names: Sequence[str] | None = None
+) -> tuple[Cover, list[str]]:
+    """Parse a sum-of-products expression into a cover.
+
+    Returns the cover and the input name order used for the cube columns.
+    When ``input_names`` is omitted, variables are ordered by first
+    appearance.
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression")
+
+    terms = _split_terms(tokens)
+
+    if input_names is None:
+        names: list[str] = []
+        for term in terms:
+            for name, _ in term:
+                if name not in names:
+                    names.append(name)
+    else:
+        names = list(input_names)
+    index = {name: i for i, name in enumerate(names)}
+
+    cubes = []
+    for term in terms:
+        literals: dict[int, bool] = {}
+        for name, polarity in term:
+            if name not in index:
+                raise ExpressionError(
+                    f"variable {name!r} not in supplied input_names"
+                )
+            variable = index[name]
+            if variable in literals and literals[variable] != polarity:
+                # x & ~x — the term is identically false, skip it.
+                literals = {}
+                break
+            literals[variable] = polarity
+        else:
+            cubes.append(Cube.from_literals(literals, len(names)))
+            continue
+    return Cover(len(names), cubes), names
+
+
+def _split_terms(tokens: list[str]) -> list[list[tuple[str, bool]]]:
+    """Split a token stream into product terms of ``(name, polarity)``."""
+    terms: list[list[tuple[str, bool]]] = []
+    current: list[tuple[str, bool]] = []
+    pending_not = False
+    depth = 0
+
+    def flush_term() -> None:
+        nonlocal current
+        if current:
+            terms.append(current)
+            current = []
+
+    position = 0
+    while position < len(tokens):
+        token = tokens[position]
+        if token in ("+", "|"):
+            if depth:
+                raise ExpressionError("nested OR inside parentheses is not supported")
+            if pending_not:
+                raise ExpressionError("dangling negation before '+'")
+            flush_term()
+        elif token in ("~", "!"):
+            pending_not = True
+        elif token in ("&", "*"):
+            if pending_not:
+                raise ExpressionError("negation must precede a variable")
+        elif token == "(":
+            depth += 1
+        elif token == ")":
+            if depth == 0:
+                raise ExpressionError("unbalanced ')'")
+            depth -= 1
+        elif token == "'":
+            if not current:
+                raise ExpressionError("postfix ' with no preceding variable")
+            name, polarity = current[-1]
+            current[-1] = (name, not polarity)
+        else:
+            polarity = not pending_not
+            pending_not = False
+            current.append((token, polarity))
+        position += 1
+    if pending_not:
+        raise ExpressionError("dangling negation at end of expression")
+    if depth:
+        raise ExpressionError("unbalanced '('")
+    flush_term()
+    if not terms:
+        raise ExpressionError("expression contains no product terms")
+    return terms
+
+
+def function_from_expressions(
+    expressions: dict[str, str],
+    *,
+    input_names: Sequence[str] | None = None,
+    name: str = "",
+) -> BooleanFunction:
+    """Build a multi-output function from ``{output_name: expression}``."""
+    if not expressions:
+        raise ExpressionError("at least one output expression is required")
+    if input_names is None:
+        # Establish a consistent variable order across all outputs.
+        ordered: list[str] = []
+        for text in expressions.values():
+            tokens = tokenize(text)
+            for term in _split_terms(tokens):
+                for variable, _ in term:
+                    if variable not in ordered:
+                        ordered.append(variable)
+        input_names = ordered
+    covers = {
+        output: parse_sop(text, input_names=input_names)[0]
+        for output, text in expressions.items()
+    }
+    return BooleanFunction.from_covers(covers, input_names=input_names, name=name)

@@ -1,0 +1,109 @@
+"""Truth-table helpers for exhaustive functional verification.
+
+The crossbar simulator and the synthesis passes are all verified against
+exhaustive (or sampled, for wide functions) truth tables; this module
+centralises the bit-twiddling so the rest of the code never has to think
+about bit ordering.  Convention: assignment index ``i`` encodes input
+``j`` in bit ``j`` (LSB = first input).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.boolean.function import BooleanFunction
+from repro.exceptions import BooleanFunctionError
+
+
+def index_to_assignment(index: int, num_inputs: int) -> list[int]:
+    """Decode a truth-table row index into an input assignment."""
+    if not 0 <= index < (1 << num_inputs):
+        raise BooleanFunctionError(
+            f"index {index} out of range for {num_inputs} inputs"
+        )
+    return [(index >> bit) & 1 for bit in range(num_inputs)]
+
+
+def assignment_to_index(assignment: Sequence[int] | Sequence[bool]) -> int:
+    """Encode an input assignment as a truth-table row index."""
+    index = 0
+    for bit, value in enumerate(assignment):
+        if value not in (0, 1, True, False):
+            raise BooleanFunctionError(f"assignment value {value!r} is not a bit")
+        if value:
+            index |= 1 << bit
+    return index
+
+
+def all_assignments(num_inputs: int) -> Iterator[list[int]]:
+    """Iterate every assignment in truth-table order."""
+    for index in range(1 << num_inputs):
+        yield index_to_assignment(index, num_inputs)
+
+
+def sample_assignments(
+    num_inputs: int, samples: int, *, seed: int = 0
+) -> Iterator[list[int]]:
+    """Deterministically sample random assignments (for wide functions)."""
+    rng = random.Random(seed)
+    for _ in range(samples):
+        yield [rng.randint(0, 1) for _ in range(num_inputs)]
+
+
+def verification_assignments(
+    num_inputs: int, *, exhaustive_limit: int = 12, samples: int = 512, seed: int = 0
+) -> Iterator[list[int]]:
+    """Exhaustive assignments for small functions, sampled otherwise."""
+    if num_inputs <= exhaustive_limit:
+        yield from all_assignments(num_inputs)
+    else:
+        yield from sample_assignments(num_inputs, samples, seed=seed)
+
+
+def functions_agree(
+    reference: BooleanFunction,
+    candidate: Callable[[Sequence[int]], Sequence[bool]],
+    *,
+    exhaustive_limit: int = 12,
+    samples: int = 512,
+    seed: int = 0,
+) -> bool:
+    """Check a callable implementation against a reference function.
+
+    ``candidate`` receives an input assignment and must return one Boolean
+    per output.  Used to validate crossbar simulations and NAND networks.
+    """
+    for assignment in verification_assignments(
+        reference.num_inputs,
+        exhaustive_limit=exhaustive_limit,
+        samples=samples,
+        seed=seed,
+    ):
+        expected = reference.evaluate(assignment)
+        actual = list(candidate(assignment))
+        if [bool(v) for v in actual] != [bool(v) for v in expected]:
+            return False
+    return True
+
+
+def first_disagreement(
+    reference: BooleanFunction,
+    candidate: Callable[[Sequence[int]], Sequence[bool]],
+    *,
+    exhaustive_limit: int = 12,
+    samples: int = 512,
+    seed: int = 0,
+) -> tuple[list[int], list[bool], list[bool]] | None:
+    """Return ``(assignment, expected, actual)`` for the first mismatch."""
+    for assignment in verification_assignments(
+        reference.num_inputs,
+        exhaustive_limit=exhaustive_limit,
+        samples=samples,
+        seed=seed,
+    ):
+        expected = [bool(v) for v in reference.evaluate(assignment)]
+        actual = [bool(v) for v in candidate(assignment)]
+        if expected != actual:
+            return assignment, expected, actual
+    return None

@@ -1,0 +1,65 @@
+"""Benchmark circuit suite (IWLS'93/MCNC stand-ins and arithmetic circuits)."""
+
+from repro.circuits.generators import (
+    EXACT_GENERATORS,
+    adder_circuit,
+    comparator_circuit,
+    count_ones_circuit,
+    exact_benchmark,
+    function_from_integer_map,
+    increment_circuit,
+    majority_circuit,
+    parity_circuit,
+    sqrt_circuit,
+    square_circuit,
+)
+from repro.circuits.registry import (
+    VARIANTS,
+    get_benchmark,
+    get_benchmark_pair,
+    get_benchmark_spec,
+    list_benchmarks,
+    small_benchmarks,
+)
+from repro.circuits.specs import (
+    BenchmarkSpec,
+    TABLE1_PAPER_MULTILEVEL,
+    TABLE1_SPECS,
+    TABLE2_SPECS,
+    all_table1_names,
+    all_table2_names,
+    get_spec,
+)
+from repro.circuits.synthetic import (
+    synthetic_benchmark,
+    synthetic_complement_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "TABLE1_SPECS",
+    "TABLE2_SPECS",
+    "TABLE1_PAPER_MULTILEVEL",
+    "get_spec",
+    "all_table1_names",
+    "all_table2_names",
+    "synthetic_benchmark",
+    "synthetic_complement_benchmark",
+    "exact_benchmark",
+    "function_from_integer_map",
+    "count_ones_circuit",
+    "sqrt_circuit",
+    "square_circuit",
+    "increment_circuit",
+    "adder_circuit",
+    "parity_circuit",
+    "majority_circuit",
+    "comparator_circuit",
+    "EXACT_GENERATORS",
+    "get_benchmark",
+    "get_benchmark_pair",
+    "get_benchmark_spec",
+    "list_benchmarks",
+    "small_benchmarks",
+    "VARIANTS",
+]

@@ -1,0 +1,204 @@
+"""Exact functional generators for arithmetic benchmark circuits.
+
+Several of the paper's benchmarks are arithmetic functions whose meaning
+is documented in the MCNC suite and can therefore be reconstructed
+exactly from their definitions:
+
+* ``rdNk`` — the outputs are the binary count of ones among the N inputs
+  (rd53, rd73, rd84);
+* ``sqrt8`` — the 4-bit integer square root of an 8-bit number;
+* ``squar5`` — the square of a 5-bit number;
+* plus a few generally useful circuits (adders, parity, majority,
+  comparators) used by the examples and the test-suite.
+
+The generated covers come from our own two-level minimiser, so product
+counts differ slightly from the historical espresso covers the paper
+used; experiments that must match the paper's (I, O, P) exactly use the
+synthetic variants in :mod:`repro.circuits.synthetic` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.boolean.function import BooleanFunction
+from repro.exceptions import BenchmarkError
+
+
+def function_from_integer_map(
+    num_inputs: int,
+    num_outputs: int,
+    mapping: Callable[[int], int],
+    *,
+    name: str,
+    input_names: Sequence[str] | None = None,
+    output_names: Sequence[str] | None = None,
+    minimize: bool = True,
+) -> BooleanFunction:
+    """Build a function from ``input integer -> output integer`` semantics.
+
+    Input bit ``i`` (LSB first) is input variable ``i``; output bit ``j``
+    is output ``j``.
+    """
+    if num_inputs > 16:
+        raise BenchmarkError(
+            "function_from_integer_map enumerates the full truth table and is "
+            "limited to 16 inputs"
+        )
+    tables = [[False] * (1 << num_inputs) for _ in range(num_outputs)]
+    for value in range(1 << num_inputs):
+        image = mapping(value)
+        for bit in range(num_outputs):
+            tables[bit][value] = bool((image >> bit) & 1)
+    return BooleanFunction.from_truth_tables(
+        num_inputs,
+        tables,
+        input_names=input_names,
+        output_names=output_names,
+        name=name,
+        minimize=minimize,
+    )
+
+
+def count_ones_circuit(num_inputs: int, *, minimize: bool = True) -> BooleanFunction:
+    """The ``rd``-family benchmark: outputs = popcount of the inputs.
+
+    ``rd53`` is ``count_ones_circuit(5)``, ``rd73`` is 7 inputs and
+    ``rd84`` 8 inputs.
+    """
+    num_outputs = max(1, (num_inputs).bit_length())
+    return function_from_integer_map(
+        num_inputs,
+        num_outputs,
+        lambda value: bin(value).count("1"),
+        name=f"rd{num_inputs}{num_outputs}",
+        minimize=minimize,
+    )
+
+
+def sqrt_circuit(num_inputs: int = 8, *, minimize: bool = True) -> BooleanFunction:
+    """The ``sqrt8`` benchmark: floor square root of the input."""
+    num_outputs = max(1, (num_inputs + 1) // 2)
+    return function_from_integer_map(
+        num_inputs,
+        num_outputs,
+        lambda value: int(value ** 0.5),
+        name=f"sqrt{num_inputs}",
+        minimize=minimize,
+    )
+
+
+def square_circuit(num_inputs: int = 5, *, minimize: bool = True) -> BooleanFunction:
+    """The ``squar5`` benchmark: square of the input value."""
+    num_outputs = 2 * num_inputs
+    return function_from_integer_map(
+        num_inputs,
+        num_outputs,
+        lambda value: value * value,
+        name=f"squar{num_inputs}",
+        minimize=minimize,
+    )
+
+
+def increment_circuit(num_inputs: int, *, minimize: bool = True) -> BooleanFunction:
+    """Increment-by-one circuit (wraps around), ``num_inputs`` outputs."""
+    mask = (1 << num_inputs) - 1
+    return function_from_integer_map(
+        num_inputs,
+        num_inputs,
+        lambda value: (value + 1) & mask,
+        name=f"incr{num_inputs}",
+        minimize=minimize,
+    )
+
+
+def adder_circuit(bits: int, *, minimize: bool = True) -> BooleanFunction:
+    """A ``bits``-bit ripple adder as a flat two-level circuit."""
+    num_inputs = 2 * bits
+    num_outputs = bits + 1
+    mask_a = (1 << bits) - 1
+    return function_from_integer_map(
+        num_inputs,
+        num_outputs,
+        lambda value: (value & mask_a) + (value >> bits),
+        name=f"add{bits}",
+        minimize=minimize,
+    )
+
+
+def parity_circuit(num_inputs: int) -> BooleanFunction:
+    """Odd-parity of the inputs (worst case for two-level covers)."""
+    return function_from_integer_map(
+        num_inputs,
+        1,
+        lambda value: bin(value).count("1") & 1,
+        name=f"parity{num_inputs}",
+        minimize=False,
+    )
+
+
+def majority_circuit(num_inputs: int, *, minimize: bool = True) -> BooleanFunction:
+    """Majority-of-n voter (n odd recommended)."""
+    threshold = num_inputs // 2 + 1
+    return function_from_integer_map(
+        num_inputs,
+        1,
+        lambda value: 1 if bin(value).count("1") >= threshold else 0,
+        name=f"maj{num_inputs}",
+        minimize=minimize,
+    )
+
+
+def comparator_circuit(bits: int, *, minimize: bool = True) -> BooleanFunction:
+    """Two-number comparator: outputs (A > B, A == B)."""
+    mask = (1 << bits) - 1
+
+    def compare(value: int) -> int:
+        a = value & mask
+        b = value >> bits
+        greater = 1 if a > b else 0
+        equal = 2 if a == b else 0
+        return greater | equal
+
+    return function_from_integer_map(
+        2 * bits,
+        2,
+        compare,
+        name=f"cmp{bits}",
+        minimize=minimize,
+    )
+
+
+#: Registry of exact generators keyed by the family name used in specs.
+EXACT_GENERATORS: dict[str, Callable[..., BooleanFunction]] = {
+    "rd": count_ones_circuit,
+    "sqrt": sqrt_circuit,
+    "squar": square_circuit,
+    "incr": increment_circuit,
+    "add": adder_circuit,
+    "parity": parity_circuit,
+    "maj": majority_circuit,
+    "cmp": comparator_circuit,
+}
+
+
+def exact_benchmark(name: str, *, minimize: bool = True) -> BooleanFunction:
+    """Build one of the named arithmetic benchmarks exactly.
+
+    Accepted names: ``rd53``, ``rd73``, ``rd84``, ``sqrt8``, ``squar5``
+    and the generic families ``addN``, ``parityN``, ``majN``, ``cmpN``,
+    ``incrN``.
+    """
+    lookup = {
+        "rd53": lambda: count_ones_circuit(5, minimize=minimize),
+        "rd73": lambda: count_ones_circuit(7, minimize=minimize),
+        "rd84": lambda: count_ones_circuit(8, minimize=minimize),
+        "sqrt8": lambda: sqrt_circuit(8, minimize=minimize),
+        "squar5": lambda: square_circuit(5, minimize=minimize),
+    }
+    if name in lookup:
+        return lookup[name]()
+    for family, generator in EXACT_GENERATORS.items():
+        if name.startswith(family) and name[len(family):].isdigit():
+            return generator(int(name[len(family):]), minimize=minimize)
+    raise BenchmarkError(f"no exact generator for benchmark {name!r}")

@@ -1,0 +1,100 @@
+"""Benchmark registry: one place to obtain every circuit by name.
+
+Three variants of each benchmark are available:
+
+* ``"table2"`` — synthetic circuit with the exact (I, O, P, IR) of the
+  paper's Table II (the defect-tolerance experiment);
+* ``"table1"`` — synthetic circuit with the (I, O, P) implied by the
+  Table I two-level areas (the area-comparison experiment), plus the
+  matching complemented circuit;
+* ``"functional"`` — the exact arithmetic function, when one exists
+  (rd53/rd73/rd84, sqrt8, squar5); product counts then come from our own
+  minimiser rather than the paper.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.function import BooleanFunction
+from repro.circuits.generators import exact_benchmark
+from repro.circuits.specs import (
+    BenchmarkSpec,
+    TABLE1_SPECS,
+    TABLE2_SPECS,
+    all_table1_names,
+    all_table2_names,
+    get_spec,
+)
+from repro.circuits.synthetic import (
+    synthetic_benchmark,
+    synthetic_complement_benchmark,
+)
+from repro.exceptions import BenchmarkError
+
+#: Accepted values of the ``variant`` argument.
+VARIANTS = ("table2", "table1", "functional")
+
+
+def list_benchmarks(variant: str = "table2") -> list[str]:
+    """Names available for a given variant."""
+    if variant == "table2":
+        return all_table2_names()
+    if variant == "table1":
+        return all_table1_names()
+    if variant == "functional":
+        return ["rd53", "rd73", "rd84", "sqrt8", "squar5"]
+    raise BenchmarkError(f"unknown benchmark variant {variant!r}")
+
+
+def get_benchmark(
+    name: str, *, variant: str = "table2", seed: int = 0
+) -> BooleanFunction:
+    """Construct a benchmark circuit by name.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (e.g. ``"rd53"``, ``"alu4"``).
+    variant:
+        One of :data:`VARIANTS`; see the module docstring.
+    seed:
+        Seed for the synthetic variants; 0 selects a stable per-name seed
+        so repeated calls return identical circuits.
+    """
+    if variant not in VARIANTS:
+        raise BenchmarkError(
+            f"unknown benchmark variant {variant!r}; expected one of {VARIANTS}"
+        )
+    if variant == "functional":
+        return exact_benchmark(name)
+    table = 1 if variant == "table1" else 2
+    spec = get_spec(name, table=table)
+    return synthetic_benchmark(spec, seed=seed)
+
+
+def get_benchmark_pair(
+    name: str, *, seed: int = 0
+) -> tuple[BooleanFunction, BooleanFunction | None]:
+    """The Table I benchmark and its complemented counterpart."""
+    spec = get_spec(name, table=1)
+    original = synthetic_benchmark(spec, seed=seed)
+    complement = synthetic_complement_benchmark(spec, seed=seed)
+    return original, complement
+
+
+def get_benchmark_spec(name: str, *, variant: str = "table2") -> BenchmarkSpec:
+    """The paper-reported statistics of a benchmark."""
+    table = 1 if variant == "table1" else 2
+    return get_spec(name, table=table)
+
+
+def small_benchmarks(limit_products: int = 60) -> list[str]:
+    """Table II benchmarks with at most ``limit_products`` products.
+
+    Useful for quick test runs and documentation examples where the full
+    Monte-Carlo sweep would be too slow.
+    """
+    return [
+        name
+        for name, spec in TABLE2_SPECS.items()
+        if spec.products <= limit_products
+    ]

@@ -1,0 +1,192 @@
+"""A CMOS-controller model that drives the crossbar phase by phase.
+
+The :mod:`repro.crossbar.simulator` module evaluates layouts in one shot;
+this controller wraps the same semantics in the explicit state machine of
+the paper's Figs. 2(b)/4(b) so examples and tests can observe the
+intermediate state after every phase (input latch contents after RI,
+NAND-plane programming after CFM, row results after EVM, and so on).
+The controller also programs the physical array — active crosspoints
+become ACTIVE devices, all remaining functional crosspoints are DISABLED
+— which is how defect-aware runs exercise the device layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.layout import ColumnKind, CrossbarLayout, RowKind
+from repro.crossbar.simulator import (
+    SimulationResult,
+    evaluate_multi_level,
+    evaluate_two_level,
+)
+from repro.crossbar.states import (
+    Phase,
+    PhaseStateMachine,
+    TWO_LEVEL_SEQUENCE,
+    multi_level_sequence,
+)
+from repro.exceptions import CrossbarError
+
+
+@dataclass
+class PhaseTrace:
+    """Snapshot of controller-visible state after one phase."""
+
+    phase: Phase
+    description: str
+    input_latch: dict[str, int] = field(default_factory=dict)
+    row_values: dict[int, int] = field(default_factory=dict)
+    connection_values: dict[int, int] = field(default_factory=dict)
+    outputs: list[int] = field(default_factory=list)
+
+
+class CrossbarController:
+    """Drives a programmed crossbar through a full computation.
+
+    Parameters
+    ----------
+    layout:
+        The design to execute.
+    array:
+        The physical array; created to fit the layout when omitted.
+    multi_level:
+        Selects the multi-level state machine and evaluation semantics.
+    """
+
+    def __init__(
+        self,
+        layout: CrossbarLayout,
+        *,
+        array: CrossbarArray | None = None,
+        multi_level: bool = False,
+    ):
+        self._layout = layout
+        self._multi_level = bool(multi_level)
+        self._array = array or CrossbarArray(layout.rows, layout.columns)
+        if self._array.rows < layout.rows or self._array.columns < layout.columns:
+            raise CrossbarError("array is smaller than the layout")
+        self._machine = PhaseStateMachine(multi_level=self._multi_level)
+        self._programmed = False
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> CrossbarLayout:
+        """The executed design."""
+        return self._layout
+
+    @property
+    def array(self) -> CrossbarArray:
+        """The physical array the design runs on."""
+        return self._array
+
+    @property
+    def state_machine(self) -> PhaseStateMachine:
+        """The phase state machine (exposes history and current phase)."""
+        return self._machine
+
+    def program(self) -> int:
+        """Program device modes from the layout; returns the active count.
+
+        Defective devices keep their defect mode; the caller can compare
+        the returned count with ``layout.active_count()`` to detect how
+        many required devices could not be programmed.
+        """
+        self._array.program_active(self._layout.active_crosspoints)
+        self._programmed = True
+        programmed = 0
+        for row, column in self._layout.active_crosspoints:
+            if self._array.mode(row, column).name == "ACTIVE":
+                programmed += 1
+        return programmed
+
+    def unprogrammable_crosspoints(self) -> list[tuple[int, int]]:
+        """Active crosspoints that landed on defective devices."""
+        return [
+            (row, column)
+            for row, column in sorted(self._layout.active_crosspoints)
+            if self._array.mode(row, column).is_defective
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, assignment: Sequence[int] | Sequence[bool]
+    ) -> tuple[SimulationResult, list[PhaseTrace]]:
+        """Execute one full computation, returning results and phase traces."""
+        if not self._programmed:
+            self.program()
+        self._machine.reset()
+
+        evaluate = evaluate_multi_level if self._multi_level else evaluate_two_level
+        result = evaluate(self._layout, assignment, array=self._array)
+
+        traces: list[PhaseTrace] = []
+        if self._multi_level:
+            gate_rows = self._layout.rows_of_kind(RowKind.GATE)
+            sequence = multi_level_sequence(max(1, len(gate_rows)))
+        else:
+            sequence = TWO_LEVEL_SEQUENCE
+
+        input_latch = self._input_latch_view(assignment)
+        evaluated_rows: dict[int, int] = {}
+        gate_iter = iter(sorted(result.row_values))
+        for phase in sequence:
+            self._machine.advance(phase)
+            trace = PhaseTrace(phase=phase, description=_PHASE_DESCRIPTIONS[phase])
+            if phase == Phase.INA:
+                self._array.initialize_all()
+            elif phase == Phase.RI:
+                trace.input_latch = dict(input_latch)
+            elif phase == Phase.CFM:
+                trace.input_latch = dict(input_latch)
+            elif phase == Phase.EVM:
+                if self._multi_level:
+                    try:
+                        row = next(gate_iter)
+                        evaluated_rows[row] = result.row_values[row]
+                    except StopIteration:
+                        pass
+                else:
+                    evaluated_rows.update(result.row_values)
+                trace.row_values = dict(evaluated_rows)
+            elif phase == Phase.CR:
+                trace.connection_values = dict(result.connection_values)
+            elif phase in (Phase.EVR, Phase.INR):
+                trace.row_values = dict(evaluated_rows)
+            elif phase == Phase.SO:
+                trace.outputs = list(result.outputs)
+            traces.append(trace)
+        return result, traces
+
+    def compute(self, assignment: Sequence[int] | Sequence[bool]) -> list[int]:
+        """Convenience wrapper returning only the output bits."""
+        result, _ = self.run(assignment)
+        return result.outputs
+
+    def _input_latch_view(
+        self, assignment: Sequence[int] | Sequence[bool]
+    ) -> dict[str, int]:
+        view: dict[str, int] = {}
+        for column in self._layout.columns_of_kind(ColumnKind.INPUT):
+            role = self._layout.column_roles[column]
+            value = 1 if assignment[role.index] else 0
+            view[role.label()] = value if role.polarity else 1 - value
+        return view
+
+
+_PHASE_DESCRIPTIONS = {
+    Phase.INA: "initialize all memristors to R_OFF",
+    Phase.RI: "input latch receives inputs from the CMOS controller",
+    Phase.CFM: "configure minterms by copying the input latch values",
+    Phase.EVM: "evaluate NAND row(s)",
+    Phase.EVR: "evaluate the AND plane (output columns)",
+    Phase.CR: "copy the evaluated result to its multi-level connection column",
+    Phase.INR: "invert the results to obtain f from f̄",
+    Phase.SO: "send outputs to the output latch",
+}

@@ -1,0 +1,203 @@
+"""Behavioural memristor device model (Snider Boolean logic convention).
+
+The paper uses HP-style bipolar memristors as the crosspoint switches:
+an ideal device switches to its low-resistance state ``R_ON`` when the
+voltage across it exceeds the SET threshold and back to ``R_OFF`` when it
+drops below the (negative) RESET threshold; between the thresholds the
+state is retained (non-volatility).  Under the Snider Boolean logic model
+adopted by the paper, ``R_ON`` represents logic 0 and ``R_OFF`` logic 1.
+
+Devices can be *programmed* into two operational ranges (paper §II-C):
+
+* ``ACTIVE``  — the device may switch freely between the two states;
+* ``DISABLED`` — the device is permanently kept at ``R_OFF`` (a logic 1
+  that never interferes with a NAND row).
+
+Fabrication defects add two more, non-programmable, modes (paper §IV-A):
+
+* ``STUCK_OPEN``   — permanently ``R_OFF`` regardless of applied voltage;
+* ``STUCK_CLOSED`` — permanently ``R_ON`` regardless of applied voltage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import CrossbarError
+
+
+class DeviceMode(enum.Enum):
+    """Programming/defect mode of a crosspoint device."""
+
+    ACTIVE = "active"
+    DISABLED = "disabled"
+    STUCK_OPEN = "stuck_open"
+    STUCK_CLOSED = "stuck_closed"
+
+    @property
+    def is_defective(self) -> bool:
+        """True for the two fabrication-defect modes."""
+        return self in (DeviceMode.STUCK_OPEN, DeviceMode.STUCK_CLOSED)
+
+
+class ResistiveState(enum.Enum):
+    """The two stable resistance states of a memristor."""
+
+    LOW = "R_ON"
+    HIGH = "R_OFF"
+
+
+#: Snider Boolean logic: low resistance encodes logic 0, high encodes logic 1.
+LOGIC_OF_STATE = {ResistiveState.LOW: 0, ResistiveState.HIGH: 1}
+STATE_OF_LOGIC = {0: ResistiveState.LOW, 1: ResistiveState.HIGH}
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Electrical parameters of the memristor model.
+
+    The defaults follow the qualitative I–V picture of Fig. 1 of the
+    paper: write voltage above the SET threshold, a "half-select" hold
+    voltage ``v_hold`` that must never disturb the state, and symmetric
+    RESET behaviour for negative voltages.
+    """
+
+    r_on: float = 1e3
+    r_off: float = 1e6
+    v_set: float = 2.0
+    v_reset: float = -2.0
+    v_hold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise CrossbarError("resistances must be positive")
+        if self.r_on >= self.r_off:
+            raise CrossbarError("R_ON must be smaller than R_OFF")
+        if self.v_set <= 0:
+            raise CrossbarError("v_set must be positive")
+        if self.v_reset >= 0:
+            raise CrossbarError("v_reset must be negative")
+        if not 0 <= self.v_hold < self.v_set:
+            raise CrossbarError("v_hold must lie strictly below v_set")
+
+
+class Memristor:
+    """A single crosspoint memristor with mode, state and switching rules."""
+
+    __slots__ = ("_parameters", "_mode", "_state")
+
+    def __init__(
+        self,
+        parameters: DeviceParameters | None = None,
+        *,
+        mode: DeviceMode = DeviceMode.ACTIVE,
+        state: ResistiveState = ResistiveState.HIGH,
+    ):
+        self._parameters = parameters or DeviceParameters()
+        self._mode = mode
+        self._state = self._coerce_state(state)
+
+    # ------------------------------------------------------------------
+    # Mode and state
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> DeviceParameters:
+        """Electrical parameters of the device."""
+        return self._parameters
+
+    @property
+    def mode(self) -> DeviceMode:
+        """Current programming/defect mode."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, mode: DeviceMode) -> None:
+        if self._mode.is_defective and not mode.is_defective:
+            raise CrossbarError(
+                "a fabrication defect cannot be reprogrammed into a functional mode"
+            )
+        self._mode = mode
+        self._state = self._coerce_state(self._state)
+
+    @property
+    def state(self) -> ResistiveState:
+        """Current resistance state, accounting for the device mode."""
+        return self._coerce_state(self._state)
+
+    def _coerce_state(self, state: ResistiveState) -> ResistiveState:
+        if self._mode in (DeviceMode.DISABLED, DeviceMode.STUCK_OPEN):
+            return ResistiveState.HIGH
+        if self._mode == DeviceMode.STUCK_CLOSED:
+            return ResistiveState.LOW
+        return state
+
+    @property
+    def resistance(self) -> float:
+        """Present resistance in ohms."""
+        if self.state == ResistiveState.LOW:
+            return self._parameters.r_on
+        return self._parameters.r_off
+
+    @property
+    def logic_value(self) -> int:
+        """Snider Boolean logic value (R_ON → 0, R_OFF → 1)."""
+        return LOGIC_OF_STATE[self.state]
+
+    # ------------------------------------------------------------------
+    # Switching behaviour
+    # ------------------------------------------------------------------
+    def apply_voltage(self, voltage: float) -> ResistiveState:
+        """Apply a voltage across the device and return the new state.
+
+        Only ``ACTIVE`` devices respond; disabled and defective devices
+        keep their forced state.  Voltages whose magnitude stays at or
+        below ``v_hold`` never disturb the state (half-select safety).
+        """
+        if self._mode != DeviceMode.ACTIVE:
+            return self.state
+        if voltage >= self._parameters.v_set:
+            self._state = ResistiveState.LOW
+        elif voltage <= self._parameters.v_reset:
+            self._state = ResistiveState.HIGH
+        return self._state
+
+    def write_logic(self, value: int | bool) -> ResistiveState:
+        """Program a logic value by applying the appropriate write voltage.
+
+        Logic 0 is stored as ``R_ON`` (a SET pulse), logic 1 as ``R_OFF``
+        (a RESET pulse), matching the Snider convention.
+        """
+        if value not in (0, 1, True, False):
+            raise CrossbarError(f"logic value must be 0/1, got {value!r}")
+        write_margin = 1.5
+        if bool(value):
+            return self.apply_voltage(self._parameters.v_reset * write_margin)
+        return self.apply_voltage(self._parameters.v_set * write_margin)
+
+    def reset(self) -> ResistiveState:
+        """RESET pulse: drive the device to ``R_OFF`` (logic 1) if active."""
+        return self.apply_voltage(self._parameters.v_reset * 1.5)
+
+    def set(self) -> ResistiveState:
+        """SET pulse: drive the device to ``R_ON`` (logic 0) if active."""
+        return self.apply_voltage(self._parameters.v_set * 1.5)
+
+    def behaves_as_expected(self) -> bool:
+        """Self-test: SET then RESET must land in the corresponding states.
+
+        Always true for ``ACTIVE`` devices, false for stuck devices that do
+        not follow at least one of the transitions, and true for
+        ``DISABLED`` devices (they are *supposed* to stay at ``R_OFF``).
+        """
+        if self._mode == DeviceMode.ACTIVE:
+            return True
+        if self._mode == DeviceMode.DISABLED:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Memristor(mode={self._mode.value}, state={self.state.value}, "
+            f"logic={self.logic_value})"
+        )

@@ -1,0 +1,264 @@
+"""Crossbar layouts: which crosspoints a design activates and why.
+
+A layout is the bridge between the logic level (Boolean functions, NAND
+networks) and the physical level (the :class:`~repro.crossbar.array.
+CrossbarArray`):
+
+* every vertical line gets a :class:`ColumnRole` (an input-latch column
+  of a given polarity, a multi-level connection column, or an output
+  column of a given polarity);
+* every horizontal line gets a :class:`RowRole` (a product/NAND-gate row
+  or an output-latch row);
+* the set of *active* crosspoints — the memristors that must be able to
+  switch — is recorded explicitly; every other crosspoint is disabled.
+
+Layouts use *logical* row indices.  The defect-tolerant mapper assigns
+logical rows to physical crossbar lines; :meth:`CrossbarLayout.with_row_
+assignment` applies such a permutation so the simulator can run the
+mapped design on a defective array.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import CrossbarError
+
+
+class ColumnKind(enum.Enum):
+    """What a vertical line is used for."""
+
+    INPUT = "input"
+    CONNECTION = "connection"
+    OUTPUT = "output"
+
+
+class RowKind(enum.Enum):
+    """What a horizontal line is used for."""
+
+    PRODUCT = "product"
+    GATE = "gate"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class ColumnRole:
+    """Role of one vertical line.
+
+    ``index`` is the input, gate or output index; ``polarity`` is True for
+    the uncomplemented column (``x`` or ``f``) and False for the
+    complemented one (``x̄`` or ``f̄``); connection columns have no
+    polarity.
+    """
+
+    kind: ColumnKind
+    index: int
+    polarity: bool | None = None
+
+    def label(self) -> str:
+        """Readable column label such as ``x3``, ``~x3``, ``g2`` or ``f1``."""
+        if self.kind == ColumnKind.INPUT:
+            base = f"x{self.index + 1}"
+            return base if self.polarity else f"~{base}"
+        if self.kind == ColumnKind.CONNECTION:
+            return f"g{self.index}"
+        base = f"f{self.index}"
+        return base if self.polarity else f"~{base}"
+
+
+@dataclass(frozen=True)
+class RowRole:
+    """Role of one horizontal line (``index`` is product/gate/output index)."""
+
+    kind: RowKind
+    index: int
+
+    def label(self) -> str:
+        """Readable row label such as ``m1``, ``g2`` or ``O1``."""
+        if self.kind == RowKind.PRODUCT:
+            return f"m{self.index + 1}"
+        if self.kind == RowKind.GATE:
+            return f"g{self.index}"
+        return f"O{self.index + 1}"
+
+
+class CrossbarLayout:
+    """An annotated programming plan for a crossbar array."""
+
+    def __init__(
+        self,
+        row_roles: Sequence[RowRole],
+        column_roles: Sequence[ColumnRole],
+        active: Iterable[tuple[int, int]],
+        *,
+        name: str = "",
+    ):
+        self._row_roles = tuple(row_roles)
+        self._column_roles = tuple(column_roles)
+        self._name = str(name)
+        self._active: set[tuple[int, int]] = set()
+        for row, column in active:
+            if not 0 <= row < len(self._row_roles):
+                raise CrossbarError(f"active crosspoint row {row} out of range")
+            if not 0 <= column < len(self._column_roles):
+                raise CrossbarError(f"active crosspoint column {column} out of range")
+            self._active.add((row, column))
+
+    # ------------------------------------------------------------------
+    # Geometry and roles
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Design name."""
+        return self._name
+
+    @property
+    def rows(self) -> int:
+        """Number of horizontal lines."""
+        return len(self._row_roles)
+
+    @property
+    def columns(self) -> int:
+        """Number of vertical lines."""
+        return len(self._column_roles)
+
+    @property
+    def area(self) -> int:
+        """Crossbar area in crosspoints (the paper's area cost)."""
+        return self.rows * self.columns
+
+    @property
+    def row_roles(self) -> tuple[RowRole, ...]:
+        """Roles of the horizontal lines, by logical row index."""
+        return self._row_roles
+
+    @property
+    def column_roles(self) -> tuple[ColumnRole, ...]:
+        """Roles of the vertical lines, by column index."""
+        return self._column_roles
+
+    @property
+    def active_crosspoints(self) -> frozenset[tuple[int, int]]:
+        """All crosspoints that must carry a switchable device."""
+        return frozenset(self._active)
+
+    def active_count(self) -> int:
+        """Number of active crosspoints (used memristors)."""
+        return len(self._active)
+
+    @property
+    def inclusion_ratio(self) -> float:
+        """Paper's IR metric: used memristors / area."""
+        if self.area == 0:
+            return 0.0
+        return self.active_count() / self.area
+
+    def is_active(self, row: int, column: int) -> bool:
+        """True if the crosspoint must be programmable."""
+        return (row, column) in self._active
+
+    def active_in_row(self, row: int) -> list[int]:
+        """Columns with an active device on a given row, sorted."""
+        return sorted(c for r, c in self._active if r == row)
+
+    def active_in_column(self, column: int) -> list[int]:
+        """Rows with an active device on a given column, sorted."""
+        return sorted(r for r, c in self._active if c == column)
+
+    def columns_of_kind(self, kind: ColumnKind) -> list[int]:
+        """Column indices whose role has the given kind."""
+        return [i for i, role in enumerate(self._column_roles) if role.kind == kind]
+
+    def rows_of_kind(self, kind: RowKind) -> list[int]:
+        """Row indices whose role has the given kind."""
+        return [i for i, role in enumerate(self._row_roles) if role.kind == kind]
+
+    def column_index(
+        self, kind: ColumnKind, index: int, polarity: bool | None = None
+    ) -> int:
+        """Find the column with an exact role."""
+        target = ColumnRole(kind, index, polarity)
+        for i, role in enumerate(self._column_roles):
+            if role == target:
+                return i
+        raise CrossbarError(f"no column with role {target}")
+
+    def row_index(self, kind: RowKind, index: int) -> int:
+        """Find the row with an exact role."""
+        target = RowRole(kind, index)
+        for i, role in enumerate(self._row_roles):
+            if role == target:
+                return i
+        raise CrossbarError(f"no row with role {target}")
+
+    # ------------------------------------------------------------------
+    # Row assignment (defect-tolerant mapping support)
+    # ------------------------------------------------------------------
+    def with_row_assignment(
+        self, assignment: Mapping[int, int] | Sequence[int]
+    ) -> "CrossbarLayout":
+        """Permute logical rows onto physical crossbar lines.
+
+        ``assignment`` maps logical row index → physical row index; it must
+        be injective.  Unassigned physical rows become padding rows with no
+        active devices (they keep a synthetic OUTPUT role with index -1 so
+        the layout stays rectangular).
+        """
+        if isinstance(assignment, Mapping):
+            mapping = {int(k): int(v) for k, v in assignment.items()}
+        else:
+            mapping = {i: int(v) for i, v in enumerate(assignment)}
+        if len(mapping) != self.rows:
+            raise CrossbarError(
+                f"assignment covers {len(mapping)} rows, layout has {self.rows}"
+            )
+        targets = list(mapping.values())
+        if len(set(targets)) != len(targets):
+            raise CrossbarError("row assignment must be injective")
+        physical_rows = max(targets) + 1 if targets else 0
+        if physical_rows < self.rows:
+            physical_rows = self.rows
+
+        placeholder = RowRole(RowKind.OUTPUT, -1)
+        new_roles: list[RowRole] = [placeholder] * physical_rows
+        for logical, physical in mapping.items():
+            new_roles[physical] = self._row_roles[logical]
+        new_active = {
+            (mapping[row], column) for row, column in self._active
+        }
+        return CrossbarLayout(
+            new_roles, self._column_roles, new_active, name=self._name
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> list[list[int]]:
+        """0/1 matrix of active crosspoints (the paper's function matrix view)."""
+        matrix = [[0] * self.columns for _ in range(self.rows)]
+        for row, column in self._active:
+            matrix[row][column] = 1
+        return matrix
+
+    def render(self) -> str:
+        """ASCII diagram of the layout (● active, · disabled)."""
+        header = "      " + " ".join(
+            f"{role.label():>4}" for role in self._column_roles
+        )
+        lines = [header]
+        for row in range(self.rows):
+            cells = " ".join(
+                f"{'●' if self.is_active(row, column) else '·':>4}"
+                for column in range(self.columns)
+            )
+            lines.append(f"{self._row_roles[row].label():>5} {cells}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarLayout({self._name or '<anonymous>'}: {self.rows}x"
+            f"{self.columns}, active={self.active_count()}, "
+            f"IR={self.inclusion_ratio:.2%})"
+        )

@@ -1,0 +1,217 @@
+"""Multi-level crossbar designs (paper §III, Fig. 4/5).
+
+A :class:`MultiLevelDesign` places a fan-in-bounded NAND network on a
+single crossbar: one horizontal line per NAND gate (evaluated one at a
+time), *multi-level connection* columns in place of the AND plane, and
+the usual input/output latch columns.  The extra CR phase of the
+multi-level state machine copies each gate's result into its connection
+column so later gate rows can consume it.
+
+Layout conventions (kept consistent with the closed-form accounting in
+:mod:`repro.synth.area`; a cross-check is part of the test-suite):
+
+* gate rows appear in network (topological = evaluation) order, followed
+  by one output-latch row per output;
+* a gate row has one active device per fan-in — in the input latch for
+  literal fan-ins, in the source gate's connection column for gate
+  fan-ins — plus one device in its *own* connection column when its
+  result must be copied for later gates;
+* the gate driving output ``o`` carries one device in the output column
+  pair: in the ``f`` column when the output takes the gate's value
+  inverted (a NAND row naturally produces the complement under the
+  column-NAND evaluation), in the ``f̄`` column otherwise;
+* every output-latch row carries the ``f``/``f̄`` device pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crossbar.layout import (
+    ColumnKind,
+    ColumnRole,
+    CrossbarLayout,
+    RowKind,
+    RowRole,
+)
+from repro.crossbar.states import Phase, multi_level_sequence
+from repro.exceptions import CrossbarError
+from repro.synth.area import MultiLevelAreaReport, multilevel_area_report
+from repro.synth.network import NandNetwork
+from repro.synth.signals import GateRef, Literal
+
+
+@dataclass(frozen=True)
+class OutputTap:
+    """Where an output picks up its value on the multi-level crossbar."""
+
+    output_index: int
+    driver_row: int | None
+    driver_literal: Literal | None
+    inverted: bool
+
+
+class MultiLevelDesign:
+    """A NAND network mapped onto the multi-level crossbar architecture."""
+
+    def __init__(self, network: NandNetwork):
+        if network.num_outputs == 0:
+            raise CrossbarError("the network declares no outputs")
+        self._network = network
+        self._layout, self._taps = self._build_layout()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_layout(self) -> tuple[CrossbarLayout, list[OutputTap]]:
+        network = self._network
+        num_inputs = network.num_inputs
+        num_outputs = network.num_outputs
+        gates = network.gates
+        internal = sorted(network.internal_gate_ids())
+
+        column_roles: list[ColumnRole] = []
+        column_roles.extend(
+            ColumnRole(ColumnKind.INPUT, i, True) for i in range(num_inputs)
+        )
+        column_roles.extend(
+            ColumnRole(ColumnKind.INPUT, i, False) for i in range(num_inputs)
+        )
+        column_roles.extend(
+            ColumnRole(ColumnKind.CONNECTION, gate_id) for gate_id in internal
+        )
+        column_roles.extend(
+            ColumnRole(ColumnKind.OUTPUT, o, True) for o in range(num_outputs)
+        )
+        column_roles.extend(
+            ColumnRole(ColumnKind.OUTPUT, o, False) for o in range(num_outputs)
+        )
+
+        positive_input_column = {i: i for i in range(num_inputs)}
+        negative_input_column = {i: num_inputs + i for i in range(num_inputs)}
+        connection_column = {
+            gate_id: 2 * num_inputs + slot for slot, gate_id in enumerate(internal)
+        }
+        output_base = 2 * num_inputs + len(internal)
+        positive_output_column = {o: output_base + o for o in range(num_outputs)}
+        negative_output_column = {
+            o: output_base + num_outputs + o for o in range(num_outputs)
+        }
+
+        row_roles: list[RowRole] = []
+        gate_row = {}
+        for position, gate in enumerate(gates):
+            gate_row[gate.gate_id] = position
+            row_roles.append(RowRole(RowKind.GATE, gate.gate_id))
+        for output in range(num_outputs):
+            row_roles.append(RowRole(RowKind.OUTPUT, output))
+
+        active: set[tuple[int, int]] = set()
+        for gate in gates:
+            row = gate_row[gate.gate_id]
+            for signal in gate.fanins:
+                if isinstance(signal, Literal):
+                    column = (
+                        positive_input_column[signal.input_index]
+                        if signal.polarity
+                        else negative_input_column[signal.input_index]
+                    )
+                elif isinstance(signal, GateRef):
+                    if signal.gate_id not in connection_column:
+                        raise CrossbarError(
+                            f"gate {gate.gate_id} consumes gate {signal.gate_id} "
+                            "which has no connection column"
+                        )
+                    column = connection_column[signal.gate_id]
+                else:
+                    raise CrossbarError(f"unknown signal type {type(signal)!r}")
+                active.add((row, column))
+            if gate.gate_id in connection_column:
+                active.add((row, connection_column[gate.gate_id]))
+
+        taps: list[OutputTap] = []
+        for output_index, output in enumerate(network.outputs):
+            output_row = len(gates) + output_index
+            active.add((output_row, positive_output_column[output_index]))
+            active.add((output_row, negative_output_column[output_index]))
+            if isinstance(output.driver, GateRef):
+                driver_row = gate_row[output.driver.gate_id]
+                # Under column-NAND evaluation a single connected row yields
+                # the complement of the row value, so the driver device goes
+                # in the f column when the output is the inverted gate value
+                # and in the f̄ column otherwise.
+                column = (
+                    positive_output_column[output_index]
+                    if output.invert
+                    else negative_output_column[output_index]
+                )
+                active.add((driver_row, column))
+                taps.append(
+                    OutputTap(output_index, driver_row, None, output.invert)
+                )
+            elif isinstance(output.driver, Literal):
+                literal = output.driver
+                column = (
+                    positive_input_column[literal.input_index]
+                    if literal.polarity
+                    else negative_input_column[literal.input_index]
+                )
+                active.add((output_row, column))
+                taps.append(OutputTap(output_index, None, literal, output.invert))
+            else:
+                raise CrossbarError(
+                    f"unsupported output driver {type(output.driver)!r}"
+                )
+
+        layout = CrossbarLayout(
+            row_roles, column_roles, active, name=network.name or "multi-level"
+        )
+        return layout, taps
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> NandNetwork:
+        """The source NAND network."""
+        return self._network
+
+    @property
+    def layout(self) -> CrossbarLayout:
+        """The crossbar programming plan."""
+        return self._layout
+
+    @property
+    def output_taps(self) -> tuple[OutputTap, ...]:
+        """Per-output tap descriptors (driver row / literal and polarity)."""
+        return tuple(self._taps)
+
+    @property
+    def area(self) -> int:
+        """Crossbar area (rows × columns)."""
+        return self._layout.area
+
+    @property
+    def inclusion_ratio(self) -> float:
+        """Used memristors / area."""
+        return self._layout.inclusion_ratio
+
+    def area_report(self) -> MultiLevelAreaReport:
+        """Closed-form area breakdown (matches the layout dimensions)."""
+        return multilevel_area_report(self._network)
+
+    def phase_sequence(self) -> tuple[Phase, ...]:
+        """The multi-level computation's phase order for this design."""
+        return multi_level_sequence(max(1, self._network.gate_count()))
+
+    def computation_cycles(self) -> int:
+        """Number of controller phases needed for one evaluation."""
+        return len(self.phase_sequence())
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiLevelDesign({self._network.name or '<anonymous>'}: "
+            f"{self._layout.rows}x{self._layout.columns}, area={self.area}, "
+            f"gates={self._network.gate_count()}, "
+            f"levels={self._network.depth()})"
+        )

@@ -1,0 +1,151 @@
+"""Computation phases of the crossbar controller (Figs. 2(b) and 4(b)).
+
+The CMOS controller drives the crossbar through a fixed sequence of
+phases.  The two-level design uses
+
+    INA → RI → CFM → EVM → EVR → INR → SO
+
+and the multi-level design replaces the AND-plane evaluation by a
+per-gate loop that copies each NAND result into its multi-level
+connection column:
+
+    INA → RI → CFM → (EVM → CR)* → EVM → INR → SO
+
+:class:`PhaseStateMachine` validates that a controller implementation
+only ever takes legal transitions; the simulator uses it to guarantee the
+behavioural model follows the paper's control flow.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import PhaseOrderError
+
+
+class Phase(enum.Enum):
+    """One computation step of the crossbar state machine."""
+
+    INA = "initialize_all"
+    RI = "receive_inputs"
+    CFM = "configure_minterms"
+    EVM = "evaluate_minterms"
+    EVR = "evaluate_results"
+    CR = "copy_result"
+    INR = "invert_results"
+    SO = "send_outputs"
+
+
+#: Legal transitions of the two-level state machine (Fig. 2(b)).
+TWO_LEVEL_TRANSITIONS: dict[Phase, tuple[Phase, ...]] = {
+    Phase.INA: (Phase.RI,),
+    Phase.RI: (Phase.CFM,),
+    Phase.CFM: (Phase.EVM,),
+    Phase.EVM: (Phase.EVR,),
+    Phase.EVR: (Phase.INR,),
+    Phase.INR: (Phase.SO,),
+    Phase.SO: (Phase.INA,),
+}
+
+#: Legal transitions of the multi-level state machine (Fig. 4(b)).
+MULTI_LEVEL_TRANSITIONS: dict[Phase, tuple[Phase, ...]] = {
+    Phase.INA: (Phase.RI,),
+    Phase.RI: (Phase.CFM,),
+    Phase.CFM: (Phase.EVM,),
+    Phase.EVM: (Phase.CR, Phase.INR),
+    Phase.CR: (Phase.EVM,),
+    Phase.INR: (Phase.SO,),
+    Phase.SO: (Phase.INA,),
+}
+
+#: Canonical phase order of one two-level computation.
+TWO_LEVEL_SEQUENCE: tuple[Phase, ...] = (
+    Phase.INA,
+    Phase.RI,
+    Phase.CFM,
+    Phase.EVM,
+    Phase.EVR,
+    Phase.INR,
+    Phase.SO,
+)
+
+
+def multi_level_sequence(num_gates: int) -> tuple[Phase, ...]:
+    """Canonical phase order for a multi-level computation of ``num_gates``.
+
+    Each gate except the last is followed by a CR phase that copies its
+    result into the corresponding multi-level connection column; the last
+    gate's result goes straight to inversion and output (the ``nL < n``
+    loop condition of Fig. 4(b)).
+    """
+    if num_gates < 1:
+        raise PhaseOrderError("a multi-level computation needs at least one gate")
+    phases: list[Phase] = [Phase.INA, Phase.RI, Phase.CFM]
+    for gate_index in range(num_gates):
+        phases.append(Phase.EVM)
+        if gate_index != num_gates - 1:
+            phases.append(Phase.CR)
+    phases.extend([Phase.INR, Phase.SO])
+    return tuple(phases)
+
+
+class PhaseStateMachine:
+    """Transition checker for the crossbar controller.
+
+    Parameters
+    ----------
+    multi_level:
+        Selects the multi-level transition relation (Fig. 4(b)) instead of
+        the two-level one (Fig. 2(b)).
+    """
+
+    def __init__(self, *, multi_level: bool = False):
+        self._transitions = (
+            MULTI_LEVEL_TRANSITIONS if multi_level else TWO_LEVEL_TRANSITIONS
+        )
+        self._multi_level = multi_level
+        self._current: Phase | None = None
+        self._history: list[Phase] = []
+
+    @property
+    def multi_level(self) -> bool:
+        """True when the machine follows the multi-level transition relation."""
+        return self._multi_level
+
+    @property
+    def current(self) -> Phase | None:
+        """Current phase, or ``None`` before the first advance."""
+        return self._current
+
+    @property
+    def history(self) -> tuple[Phase, ...]:
+        """All phases visited so far, in order."""
+        return tuple(self._history)
+
+    def legal_next_phases(self) -> tuple[Phase, ...]:
+        """The phases that may legally follow the current one."""
+        if self._current is None:
+            return (Phase.INA,)
+        return self._transitions[self._current]
+
+    def advance(self, phase: Phase) -> Phase:
+        """Move to ``phase``, raising :class:`PhaseOrderError` if illegal."""
+        legal = self.legal_next_phases()
+        if phase not in legal:
+            raise PhaseOrderError(
+                f"illegal transition {self._current} -> {phase}; legal next phases "
+                f"are {[p.name for p in legal]}"
+            )
+        self._current = phase
+        self._history.append(phase)
+        return phase
+
+    def run_sequence(self, phases: tuple[Phase, ...] | list[Phase]) -> None:
+        """Advance through a whole sequence, validating every step."""
+        for phase in phases:
+            self.advance(phase)
+
+    def reset(self) -> None:
+        """Forget all progress (a fresh computation)."""
+        self._current = None
+        self._history.clear()

@@ -1,0 +1,36 @@
+"""Defect model of the paper's §IV: stuck-at defects, maps and injection."""
+
+from repro.defects.analysis import (
+    CapacityReport,
+    capacity_report,
+    minimum_required_functional_fraction,
+    naive_mapping_survives,
+    naive_survival_probability,
+)
+from repro.defects.defect_map import DefectMap
+from repro.defects.injection import (
+    defect_maps_for_monte_carlo,
+    inject_clustered,
+    inject_exact_count,
+    inject_line_defects,
+    inject_uniform,
+)
+from repro.defects.types import Defect, DefectProfile, DefectType, defect_type_from_mode
+
+__all__ = [
+    "DefectType",
+    "Defect",
+    "DefectProfile",
+    "defect_type_from_mode",
+    "DefectMap",
+    "inject_uniform",
+    "inject_exact_count",
+    "inject_clustered",
+    "inject_line_defects",
+    "defect_maps_for_monte_carlo",
+    "CapacityReport",
+    "capacity_report",
+    "naive_mapping_survives",
+    "naive_survival_probability",
+    "minimum_required_functional_fraction",
+]

@@ -1,0 +1,109 @@
+"""Analysis of how defects degrade a crossbar's operational capacity.
+
+These helpers quantify the observations of §IV-A of the paper: stuck-open
+defects only remove individual crosspoints from consideration, while a
+single stuck-closed defect removes a whole horizontal *and* vertical line.
+They also provide the analytic baseline the Monte-Carlo results are
+compared against — e.g. the probability that a *naive* (defect-unaware)
+mapping of a function survives a given defect rate, which makes the gain
+of defect-aware mapping measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boolean.function import BooleanFunction
+from repro.crossbar.layout import CrossbarLayout
+from repro.defects.defect_map import DefectMap
+from repro.defects.types import DefectType
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Summary of a defect map's impact on crossbar capacity."""
+
+    rows: int
+    columns: int
+    total_defects: int
+    stuck_open: int
+    stuck_closed: int
+    usable_rows: int
+    usable_columns: int
+    functional_crosspoints: int
+
+    @property
+    def usable_area(self) -> int:
+        """Crosspoints on lines not poisoned by stuck-closed defects."""
+        return self.usable_rows * self.usable_columns
+
+    @property
+    def usable_fraction(self) -> float:
+        """Usable area relative to the full crossbar."""
+        if self.rows * self.columns == 0:
+            return 0.0
+        return self.usable_area / (self.rows * self.columns)
+
+
+def capacity_report(defect_map: DefectMap) -> CapacityReport:
+    """Compute the operational-capacity summary for a defect map."""
+    return CapacityReport(
+        rows=defect_map.rows,
+        columns=defect_map.columns,
+        total_defects=defect_map.defect_count(),
+        stuck_open=defect_map.defect_count(DefectType.STUCK_OPEN),
+        stuck_closed=defect_map.defect_count(DefectType.STUCK_CLOSED),
+        usable_rows=len(defect_map.usable_rows()),
+        usable_columns=len(defect_map.usable_columns()),
+        functional_crosspoints=defect_map.area - defect_map.defect_count(),
+    )
+
+
+def naive_mapping_survives(layout: CrossbarLayout, defect_map: DefectMap) -> bool:
+    """Would the identity (defect-unaware) mapping still work?
+
+    True iff no active crosspoint of the layout coincides with a defect
+    and no stuck-closed defect poisons a row or column the layout uses.
+    """
+    closed_rows = defect_map.stuck_closed_rows()
+    closed_columns = defect_map.stuck_closed_columns()
+    for row, column in layout.active_crosspoints:
+        if not defect_map.is_functional(row, column):
+            return False
+        if row in closed_rows or column in closed_columns:
+            return False
+    if closed_rows or closed_columns:
+        # Any used line with a stuck-closed device elsewhere is also broken.
+        used_rows = {row for row, _ in layout.active_crosspoints}
+        used_columns = {column for _, column in layout.active_crosspoints}
+        if used_rows & closed_rows or used_columns & closed_columns:
+            return False
+    return True
+
+
+def naive_survival_probability(
+    function: BooleanFunction, defect_rate: float
+) -> float:
+    """Analytic probability that a naive mapping survives stuck-open defects.
+
+    Every one of the layout's active crosspoints must independently be
+    functional, so the probability is ``(1 - p) ** used_memristors``.
+    This closed form is validated against Monte-Carlo simulation in the
+    test-suite and serves as the "no defect tolerance" baseline in the
+    experiment reports.
+    """
+    from repro.crossbar.two_level import TwoLevelDesign
+
+    layout = TwoLevelDesign(function).layout
+    return (1.0 - defect_rate) ** layout.active_count()
+
+
+def minimum_required_functional_fraction(layout: CrossbarLayout) -> float:
+    """Lower bound on the fraction of functional devices a mapping needs.
+
+    Equal to the layout's inclusion ratio: at least the active devices
+    must be functional *somewhere*; a denser design is intrinsically
+    harder to map on a defective crossbar, which is the mechanism behind
+    the IR column of the paper's Table II.
+    """
+    return layout.inclusion_ratio

@@ -1,0 +1,92 @@
+"""Defect types and specifications (paper §IV-A).
+
+The paper models fabrication defects of the crosspoint switches with the
+conventional stuck-at paradigm:
+
+* **stuck-at open** — the memristor is always in ``R_OFF``.  It behaves
+  exactly like a *disabled* device, so a mapping that simply avoids
+  placing literals on stuck-open crosspoints remains valid;
+* **stuck-at closed** — the memristor is always in ``R_ON`` (logic 0).
+  It forces the NAND of its horizontal line to 1 and disturbs the value
+  carried by its vertical line, so *neither line can be used at all*
+  without redundant lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crossbar.device import DeviceMode
+from repro.exceptions import DefectError
+
+
+class DefectType(enum.Enum):
+    """The two stuck-at defect classes of the paper's model."""
+
+    STUCK_OPEN = "stuck_open"
+    STUCK_CLOSED = "stuck_closed"
+
+    @property
+    def device_mode(self) -> DeviceMode:
+        """The corresponding device mode for array injection."""
+        if self is DefectType.STUCK_OPEN:
+            return DeviceMode.STUCK_OPEN
+        return DeviceMode.STUCK_CLOSED
+
+    @property
+    def tolerable_by_placement(self) -> bool:
+        """True when avoiding the crosspoint during mapping is sufficient."""
+        return self is DefectType.STUCK_OPEN
+
+
+def defect_type_from_mode(mode: DeviceMode) -> DefectType:
+    """Translate a defective device mode back into a defect type."""
+    if mode == DeviceMode.STUCK_OPEN:
+        return DefectType.STUCK_OPEN
+    if mode == DeviceMode.STUCK_CLOSED:
+        return DefectType.STUCK_CLOSED
+    raise DefectError(f"{mode} is not a defect mode")
+
+
+@dataclass(frozen=True)
+class Defect:
+    """A single defective crosspoint."""
+
+    row: int
+    column: int
+    kind: DefectType
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.column < 0:
+            raise DefectError("defect coordinates must be non-negative")
+
+
+@dataclass(frozen=True)
+class DefectProfile:
+    """Mix of defect probabilities used by the injectors.
+
+    ``rate`` is the total probability that a crosspoint is defective;
+    ``stuck_open_fraction`` splits that probability between the two
+    classes.  The paper's Table II experiment uses a 10 % rate with
+    stuck-open defects only (``stuck_open_fraction = 1.0``).
+    """
+
+    rate: float
+    stuck_open_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise DefectError("defect rate must lie in [0, 1]")
+        if not 0.0 <= self.stuck_open_fraction <= 1.0:
+            raise DefectError("stuck_open_fraction must lie in [0, 1]")
+
+    @property
+    def stuck_open_rate(self) -> float:
+        """Probability of a stuck-open defect at any crosspoint."""
+        return self.rate * self.stuck_open_fraction
+
+    @property
+    def stuck_closed_rate(self) -> float:
+        """Probability of a stuck-closed defect at any crosspoint."""
+        return self.rate * (1.0 - self.stuck_open_fraction)

@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an application boundary while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class BooleanFunctionError(ReproError):
+    """Invalid Boolean-function construction or manipulation."""
+
+
+class PlaFormatError(BooleanFunctionError):
+    """A PLA description could not be parsed or is internally inconsistent."""
+
+
+class ExpressionError(BooleanFunctionError):
+    """A textual Boolean expression could not be parsed."""
+
+
+class SynthesisError(ReproError):
+    """Multi-level NAND synthesis failed or produced an invalid network."""
+
+
+class CrossbarError(ReproError):
+    """Invalid crossbar construction, layout, or simulation request."""
+
+
+class PhaseOrderError(CrossbarError):
+    """The crossbar controller was driven through an illegal phase sequence."""
+
+
+class DefectError(ReproError):
+    """Invalid defect-map construction or defect injection request."""
+
+
+class MappingError(ReproError):
+    """Defect-tolerant mapping failed due to invalid inputs.
+
+    Note that *not finding* a valid mapping is an expected outcome reported
+    through :class:`repro.mapping.result.MappingResult`, not an exception;
+    this error signals malformed inputs (e.g. mismatched matrix shapes).
+    """
+
+
+class BenchmarkError(ReproError):
+    """Unknown benchmark circuit or inconsistent benchmark specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,94 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.figure6` — Fig. 6 (two-level vs multi-level on
+  random functions);
+* :mod:`repro.experiments.table1` — Table I (benchmark area comparison);
+* :mod:`repro.experiments.table2` — Table II (HBA vs EA defect-tolerant
+  mapping);
+* :mod:`repro.experiments.defect_sweep` and
+  :mod:`repro.experiments.redundancy` — the future-work extensions
+  (defect-rate sweep, redundancy/yield analysis);
+* :mod:`repro.experiments.monte_carlo` — the shared Monte-Carlo engine.
+"""
+
+from repro.experiments.defect_sweep import (
+    DEFAULT_RATES,
+    DefectSweepResult,
+    SweepPoint,
+    run_defect_sweep,
+)
+from repro.experiments.figure6 import (
+    Figure6Config,
+    Figure6Panel,
+    Figure6Result,
+    Figure6Sample,
+    PAPER_INPUT_SIZES,
+    PAPER_SUCCESS_RATES,
+    evaluate_sample,
+    run_figure6,
+)
+from repro.experiments.monte_carlo import (
+    ALGORITHM_FACTORIES,
+    AlgorithmOutcome,
+    MonteCarloResult,
+    run_mapping_monte_carlo,
+)
+from repro.experiments.redundancy import (
+    RedundancyPoint,
+    RedundancyResult,
+    run_redundancy_analysis,
+)
+from repro.experiments.report import (
+    ascii_scatter,
+    format_percent,
+    format_runtime,
+    format_table,
+)
+from repro.experiments.table1 import (
+    Table1Result,
+    Table1Row,
+    multi_level_cost_of,
+    run_table1,
+)
+from repro.experiments.table2 import (
+    PAPER_TABLE2_RESULTS,
+    Table2Result,
+    Table2Row,
+    run_table2,
+    run_table2_row,
+)
+
+__all__ = [
+    "run_figure6",
+    "Figure6Config",
+    "Figure6Result",
+    "Figure6Panel",
+    "Figure6Sample",
+    "evaluate_sample",
+    "PAPER_INPUT_SIZES",
+    "PAPER_SUCCESS_RATES",
+    "run_table1",
+    "Table1Result",
+    "Table1Row",
+    "multi_level_cost_of",
+    "run_table2",
+    "run_table2_row",
+    "Table2Result",
+    "Table2Row",
+    "PAPER_TABLE2_RESULTS",
+    "run_mapping_monte_carlo",
+    "MonteCarloResult",
+    "AlgorithmOutcome",
+    "ALGORITHM_FACTORIES",
+    "run_defect_sweep",
+    "DefectSweepResult",
+    "SweepPoint",
+    "DEFAULT_RATES",
+    "run_redundancy_analysis",
+    "RedundancyResult",
+    "RedundancyPoint",
+    "format_table",
+    "format_percent",
+    "format_runtime",
+    "ascii_scatter",
+]

@@ -1,0 +1,99 @@
+"""Defect-rate sweep: success rate as a function of the defect rate.
+
+The paper fixes the defect rate at 10 %; this extension sweeps it and
+records how quickly each algorithm's success rate degrades on
+optimum-size crossbars, including the naive (defect-unaware) mapping as a
+baseline.  It quantifies the gain of defect-tolerant mapping and exposes
+the crossover where even the exact algorithm stops finding mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boolean.function import BooleanFunction
+from repro.circuits.registry import get_benchmark
+from repro.defects.analysis import naive_survival_probability
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.experiments.report import format_table
+
+#: Default defect rates swept by the extension experiment.
+DEFAULT_RATES = (0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30)
+
+
+@dataclass
+class SweepPoint:
+    """Results at one defect rate."""
+
+    defect_rate: float
+    success_rates: dict[str, float] = field(default_factory=dict)
+    mean_runtimes: dict[str, float] = field(default_factory=dict)
+    naive_survival: float = 0.0
+
+
+@dataclass
+class DefectSweepResult:
+    """Full sweep for one circuit."""
+
+    function_name: str
+    sample_size: int
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm labels present in the sweep."""
+        return sorted(self.points[0].success_rates) if self.points else []
+
+    def render(self) -> str:
+        """Monospaced rendering of the sweep."""
+        algorithms = self.algorithms()
+        headers = ["rate", "naive"] + algorithms
+        body = []
+        for point in self.points:
+            body.append(
+                [f"{point.defect_rate:.0%}", f"{point.naive_survival:.2f}"]
+                + [f"{point.success_rates[a]:.2f}" for a in algorithms]
+            )
+        return format_table(
+            headers,
+            body,
+            title=f"Defect-rate sweep for {self.function_name} "
+            f"({self.sample_size} samples/point)",
+        )
+
+
+def run_defect_sweep(
+    function: BooleanFunction | str,
+    *,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    sample_size: int = 100,
+    algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    seed: int = 0,
+) -> DefectSweepResult:
+    """Sweep the defect rate for one circuit (name or function)."""
+    if isinstance(function, str):
+        function = get_benchmark(function)
+    result = DefectSweepResult(
+        function_name=function.name or "<anonymous>", sample_size=sample_size
+    )
+    for rate in rates:
+        monte_carlo = run_mapping_monte_carlo(
+            function,
+            defect_rate=rate,
+            sample_size=sample_size,
+            algorithms=algorithms,
+            seed=seed,
+        )
+        point = SweepPoint(
+            defect_rate=rate,
+            success_rates={
+                name: outcome.success_rate
+                for name, outcome in monte_carlo.outcomes.items()
+            },
+            mean_runtimes={
+                name: outcome.mean_runtime
+                for name, outcome in monte_carlo.outcomes.items()
+            },
+            naive_survival=naive_survival_probability(function, rate),
+        )
+        result.points.append(point)
+    return result

@@ -1,0 +1,187 @@
+"""Generic Monte-Carlo harness for defect-tolerant mapping experiments.
+
+All of the paper's §V results follow the same protocol: generate many
+defective crossbars for an optimum-size design at a given defect rate,
+run one or more mapping algorithms on each, and report per-algorithm
+success rates and runtimes.  :func:`run_mapping_monte_carlo` implements
+that protocol once so Table II, the defect-rate sweep and the redundancy
+study are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.boolean.function import BooleanFunction
+from repro.defects.injection import inject_uniform
+from repro.defects.types import DefectProfile
+from repro.exceptions import ExperimentError
+from repro.mapping.crossbar_matrix import CrossbarMatrix
+from repro.mapping.exact import ExactMapper
+from repro.mapping.function_matrix import FunctionMatrix
+from repro.mapping.hybrid import GreedyMapper, HybridMapper
+from repro.mapping.validate import validate_assignment
+
+
+@dataclass
+class AlgorithmOutcome:
+    """Aggregated Monte-Carlo outcome of one mapping algorithm."""
+
+    algorithm: str
+    successes: int = 0
+    samples: int = 0
+    total_runtime: float = 0.0
+    total_backtracks: int = 0
+    invalid_mappings: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of samples with a valid mapping (the paper's P_succ)."""
+        if self.samples == 0:
+            return 0.0
+        return self.successes / self.samples
+
+    @property
+    def mean_runtime(self) -> float:
+        """Average wall-clock mapping time per sample, in seconds."""
+        if self.samples == 0:
+            return 0.0
+        return self.total_runtime / self.samples
+
+
+@dataclass
+class MonteCarloResult:
+    """Full result of one Monte-Carlo mapping experiment."""
+
+    function_name: str
+    defect_rate: float
+    sample_size: int
+    outcomes: dict[str, AlgorithmOutcome] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def outcome(self, algorithm: str) -> AlgorithmOutcome:
+        """Aggregated outcome of one algorithm."""
+        return self.outcomes[algorithm]
+
+
+#: Default algorithm factory map used by the experiments.
+DEFAULT_ALGORITHMS = {
+    "hybrid": HybridMapper,
+    "exact": ExactMapper,
+}
+
+ALGORITHM_FACTORIES = {
+    "hybrid": HybridMapper,
+    "exact": ExactMapper,
+    "greedy": GreedyMapper,
+}
+
+
+def run_mapping_monte_carlo(
+    function: BooleanFunction,
+    *,
+    defect_rate: float = 0.10,
+    stuck_open_fraction: float = 1.0,
+    sample_size: int = 200,
+    algorithms: Sequence[str] | Mapping[str, object] = ("hybrid", "exact"),
+    seed: int = 0,
+    extra_rows: int = 0,
+    extra_columns: int = 0,
+    validate: bool = True,
+) -> MonteCarloResult:
+    """Run the paper's Monte-Carlo mapping protocol on one function.
+
+    Parameters
+    ----------
+    function:
+        The circuit to map; the crossbar is sized to its optimum
+        dimensions plus the optional redundancy.
+    defect_rate / stuck_open_fraction:
+        Defect injection parameters (the paper uses 10 % stuck-open only).
+    sample_size:
+        Number of random defective crossbars (the paper uses 200).
+    algorithms:
+        Algorithm names from ``{"hybrid", "exact", "greedy"}`` or a
+        mapping ``{label: mapper instance}``.
+    extra_rows / extra_columns:
+        Redundant lines beyond the optimum size (0 = the paper's setup).
+    validate:
+        Double-check every successful mapping at the matrix level and
+        count violations separately (should always be zero).
+    """
+    if sample_size <= 0:
+        raise ExperimentError("sample_size must be positive")
+    function_matrix = FunctionMatrix(function)
+    rows = function_matrix.num_rows + extra_rows
+    columns = function_matrix.num_columns + extra_columns
+    profile = DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
+
+    if isinstance(algorithms, Mapping):
+        mappers = dict(algorithms)
+    else:
+        mappers = {}
+        for name in algorithms:
+            if name not in ALGORITHM_FACTORIES:
+                raise ExperimentError(
+                    f"unknown algorithm {name!r}; expected one of "
+                    f"{sorted(ALGORITHM_FACTORIES)}"
+                )
+            mappers[name] = ALGORITHM_FACTORIES[name]()
+
+    result = MonteCarloResult(
+        function_name=function.name or "<anonymous>",
+        defect_rate=defect_rate,
+        sample_size=sample_size,
+        outcomes={name: AlgorithmOutcome(algorithm=name) for name in mappers},
+    )
+
+    start = time.perf_counter()
+    for sample in range(sample_size):
+        defect_map = inject_uniform(
+            rows, columns, profile, seed=seed * 1_000_003 + sample
+        )
+        if extra_columns > 0:
+            defect_map = _repair_columns(
+                defect_map, function_matrix.num_columns
+            )
+            if defect_map is None:
+                for outcome in result.outcomes.values():
+                    outcome.samples += 1
+                continue
+        crossbar_matrix = CrossbarMatrix(defect_map)
+        for name, mapper in mappers.items():
+            outcome = result.outcomes[name]
+            mapping = mapper.map(function_matrix, crossbar_matrix)
+            outcome.samples += 1
+            outcome.total_runtime += mapping.runtime_seconds
+            outcome.total_backtracks += mapping.statistics.backtracks
+            if mapping.success:
+                if validate and not validate_assignment(
+                    function_matrix, crossbar_matrix, mapping
+                ):
+                    outcome.invalid_mappings += 1
+                else:
+                    outcome.successes += 1
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+def _repair_columns(defect_map, required_columns: int):
+    """Steer the design onto the best functional columns (spares present).
+
+    Columns poisoned by stuck-closed defects are skipped; among the
+    remaining ones the ``required_columns`` with the fewest defects are
+    kept (ties broken by position).  Returns the restricted defect map or
+    ``None`` when too few usable columns remain.
+    """
+    usable = defect_map.usable_columns()
+    if len(usable) < required_columns:
+        return None
+    defects_per_column = [0] * defect_map.columns
+    for defect in defect_map:
+        defects_per_column[defect.column] += 1
+    ranked = sorted(usable, key=lambda column: (defects_per_column[column], column))
+    kept = sorted(ranked[:required_columns])
+    return defect_map.restricted_to_columns(kept)

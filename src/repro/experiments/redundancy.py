@@ -1,0 +1,153 @@
+"""Redundancy / yield analysis (the paper's stated future work, §VI).
+
+The paper maps only optimum-size crossbars and therefore cannot tolerate
+stuck-at-closed defects at all; it names "area cost with redundant lines
+vs. defect tolerance performance (yield analysis)" as future work.  This
+extension implements that study:
+
+* redundant *rows* are appended to the optimum-size crossbar and the
+  mapping algorithms may place the function-matrix rows on any usable
+  subset;
+* redundant *columns* are appended as spares; a column poisoned by a
+  stuck-closed defect only breaks the mapping when fewer functional
+  columns remain than the design needs (the controller is assumed to be
+  able to steer around trailing spare columns, column order within the
+  used block is preserved);
+* yield is the fraction of Monte-Carlo samples with a valid mapping, and
+  the area overhead is reported next to it so the yield/area trade-off
+  curve can be drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boolean.function import BooleanFunction
+from repro.circuits.registry import get_benchmark
+from repro.defects.types import DefectProfile
+from repro.exceptions import ExperimentError
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.experiments.report import format_table
+from repro.mapping.function_matrix import FunctionMatrix
+
+
+@dataclass
+class RedundancyPoint:
+    """Yield at one redundancy level."""
+
+    extra_rows: int
+    extra_columns: int
+    area_overhead: float
+    yields: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RedundancyResult:
+    """Yield/area trade-off curve for one circuit."""
+
+    function_name: str
+    defect_rate: float
+    stuck_open_fraction: float
+    sample_size: int
+    points: list[RedundancyPoint] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm labels present in the study."""
+        return sorted(self.points[0].yields) if self.points else []
+
+    def best_point_for_yield(
+        self, algorithm: str, target_yield: float
+    ) -> RedundancyPoint | None:
+        """Smallest-overhead point reaching a target yield, if any."""
+        feasible = [
+            point
+            for point in self.points
+            if point.yields.get(algorithm, 0.0) >= target_yield
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda point: point.area_overhead)
+
+    def render(self) -> str:
+        """Monospaced rendering of the yield/overhead table."""
+        algorithms = self.algorithms()
+        headers = ["+rows", "+cols", "overhead"] + [f"yield[{a}]" for a in algorithms]
+        body = []
+        for point in self.points:
+            body.append(
+                [
+                    point.extra_rows,
+                    point.extra_columns,
+                    f"{point.area_overhead:.0%}",
+                ]
+                + [f"{point.yields[a]:.2f}" for a in algorithms]
+            )
+        title = (
+            f"Redundancy / yield analysis for {self.function_name} "
+            f"(defect rate {self.defect_rate:.0%}, "
+            f"stuck-open fraction {self.stuck_open_fraction:.0%}, "
+            f"{self.sample_size} samples/point)"
+        )
+        return format_table(headers, body, title=title)
+
+
+def run_redundancy_analysis(
+    function: BooleanFunction | str,
+    *,
+    defect_rate: float = 0.10,
+    stuck_open_fraction: float = 0.9,
+    redundancy_levels: tuple[tuple[int, int], ...] = (
+        (0, 0),
+        (1, 0),
+        (2, 0),
+        (4, 0),
+        (2, 2),
+        (4, 4),
+        (8, 8),
+    ),
+    sample_size: int = 100,
+    algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    seed: int = 0,
+) -> RedundancyResult:
+    """Measure yield as a function of added redundant rows/columns."""
+    if isinstance(function, str):
+        function = get_benchmark(function)
+    if not 0.0 <= stuck_open_fraction <= 1.0:
+        raise ExperimentError("stuck_open_fraction must lie in [0, 1]")
+    DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
+
+    function_matrix = FunctionMatrix(function)
+    base_area = function_matrix.num_rows * function_matrix.num_columns
+
+    result = RedundancyResult(
+        function_name=function.name or "<anonymous>",
+        defect_rate=defect_rate,
+        stuck_open_fraction=stuck_open_fraction,
+        sample_size=sample_size,
+    )
+    for extra_rows, extra_columns in redundancy_levels:
+        monte_carlo = run_mapping_monte_carlo(
+            function,
+            defect_rate=defect_rate,
+            stuck_open_fraction=stuck_open_fraction,
+            sample_size=sample_size,
+            algorithms=algorithms,
+            seed=seed,
+            extra_rows=extra_rows,
+            extra_columns=extra_columns,
+        )
+        redundant_area = (function_matrix.num_rows + extra_rows) * (
+            function_matrix.num_columns + extra_columns
+        )
+        result.points.append(
+            RedundancyPoint(
+                extra_rows=extra_rows,
+                extra_columns=extra_columns,
+                area_overhead=redundant_area / base_area - 1.0,
+                yields={
+                    name: outcome.success_rate
+                    for name, outcome in monte_carlo.outcomes.items()
+                },
+            )
+        )
+    return result

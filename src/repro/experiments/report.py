@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment results (tables and ASCII figures).
+
+The paper's evaluation consists of one figure (Fig. 6) and two tables;
+this module renders our regenerated counterparts as monospaced text so
+the benchmark harness can print them directly and EXPERIMENTS.md can
+embed them verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned monospaced table."""
+    columns = len(headers)
+    normalised = [[_cell(value) for value in row] for row in rows]
+    for row in normalised:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in normalised), 1)
+        if normalised
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in normalised:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    """Render a fraction as a percentage string (``0.65`` → ``"65%"``)."""
+    return f"{round(value * 100):d}%"
+
+
+def format_runtime(seconds: float) -> str:
+    """Render a runtime in seconds with millisecond resolution."""
+    return f"{seconds:.3f}"
+
+
+def ascii_scatter(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Very small ASCII line/scatter plot used to mimic Fig. 6 panels.
+
+    Each named series is a sequence of y-values plotted against its index
+    (the samples are pre-sorted by product count, like the paper's x-axis).
+    """
+    if not series:
+        return title
+    max_length = max(len(values) for values in series.values())
+    max_value = max(
+        (max(values) for values in series.values() if len(values)), default=1.0
+    )
+    min_value = min(
+        (min(values) for values in series.values() if len(values)), default=0.0
+    )
+    span = max(max_value - min_value, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#"
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for index, value in enumerate(values):
+            x = int(index / max(1, max_length - 1) * (width - 1))
+            y = int((value - min_value) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={max_value:.0f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"min={min_value:.0f}   {legend}")
+    return "\n".join(lines)

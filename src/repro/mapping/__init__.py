@@ -1,0 +1,69 @@
+"""Defect-tolerant logic mapping (the paper's §IV-B and Algorithm 1).
+
+Public entry points:
+
+* :class:`HybridMapper` — the paper's proposed HBA;
+* :class:`ExactMapper` — the EA baseline it is compared against;
+* :class:`GreedyMapper` — HBA without backtracking (ablation);
+* :func:`map_with_dual_selection` — full Algorithm 1 including the
+  function-vs-complement area selection;
+* validation helpers that check mappings both at the matrix level and by
+  simulating the mapped design on the defective array.
+"""
+
+from repro.mapping.crossbar_matrix import CrossbarMatrix
+from repro.mapping.exact import ExactMapper
+from repro.mapping.function_matrix import FunctionMatrix
+from repro.mapping.heuristic import (
+    GreedyMatcher,
+    HeuristicMatchOutcome,
+    HeuristicMatcher,
+)
+from repro.mapping.hybrid import GreedyMapper, HybridMapper, map_with_dual_selection
+from repro.mapping.matching import (
+    MATCH,
+    NO_MATCH,
+    compatibility_matrix,
+    feasible_rows_for,
+    matching_matrix,
+    quick_infeasibility_check,
+    rows_compatible,
+)
+from repro.mapping.munkres import (
+    AssignmentResult,
+    solve_assignment,
+    zero_cost_assignment,
+)
+from repro.mapping.result import MappingResult, MappingStatistics
+from repro.mapping.validate import (
+    validate_assignment,
+    validate_both,
+    validate_functionally,
+)
+
+__all__ = [
+    "FunctionMatrix",
+    "CrossbarMatrix",
+    "rows_compatible",
+    "compatibility_matrix",
+    "matching_matrix",
+    "feasible_rows_for",
+    "quick_infeasibility_check",
+    "MATCH",
+    "NO_MATCH",
+    "AssignmentResult",
+    "solve_assignment",
+    "zero_cost_assignment",
+    "HeuristicMatcher",
+    "GreedyMatcher",
+    "HeuristicMatchOutcome",
+    "HybridMapper",
+    "GreedyMapper",
+    "ExactMapper",
+    "map_with_dual_selection",
+    "MappingResult",
+    "MappingStatistics",
+    "validate_assignment",
+    "validate_functionally",
+    "validate_both",
+]

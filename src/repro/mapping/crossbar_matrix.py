@@ -1,0 +1,116 @@
+"""The crossbar matrix (CM, "defect map") of the paper's §IV-B.
+
+The CM records which crosspoints of a fabricated crossbar are functional:
+1 entries can be programmed to either polarity (so they can satisfy both
+0 and 1 entries of the function matrix), 0 entries are stuck-open and can
+only coincide with FM entries that need no device.  Rows and columns
+poisoned by stuck-closed defects cannot be used at all and are tracked
+separately (the mapper refuses to place anything on them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defects.defect_map import DefectMap
+from repro.defects.types import DefectType
+from repro.exceptions import MappingError
+
+
+class CrossbarMatrix:
+    """Binary availability matrix of a (possibly defective) crossbar."""
+
+    def __init__(self, defect_map: DefectMap):
+        self._defect_map = defect_map
+        self._matrix = np.array(defect_map.functional_matrix(), dtype=np.uint8)
+        self._closed_rows = frozenset(defect_map.stuck_closed_rows())
+        self._closed_columns = frozenset(defect_map.stuck_closed_columns())
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def perfect(cls, rows: int, columns: int) -> "CrossbarMatrix":
+        """A defect-free crossbar matrix of the given size."""
+        return cls(DefectMap(rows, columns))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def defect_map(self) -> DefectMap:
+        """The underlying defect map."""
+        return self._defect_map
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The 0/1 availability matrix (1 = functional crosspoint)."""
+        return self._matrix
+
+    @property
+    def rows(self) -> int:
+        """Number of horizontal lines."""
+        return self._matrix.shape[0]
+
+    @property
+    def columns(self) -> int:
+        """Number of vertical lines."""
+        return self._matrix.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns)."""
+        return tuple(self._matrix.shape)
+
+    @property
+    def stuck_closed_rows(self) -> frozenset[int]:
+        """Rows unusable because they contain a stuck-closed device."""
+        return self._closed_rows
+
+    @property
+    def stuck_closed_columns(self) -> frozenset[int]:
+        """Columns unusable because they contain a stuck-closed device."""
+        return self._closed_columns
+
+    def usable_rows(self) -> list[int]:
+        """Row indices that may receive a function-matrix row."""
+        return [row for row in range(self.rows) if row not in self._closed_rows]
+
+    def row(self, index: int) -> np.ndarray:
+        """Availability of one horizontal line."""
+        if not 0 <= index < self.rows:
+            raise MappingError(f"row index {index} out of range")
+        return self._matrix[index]
+
+    def row_is_usable(self, index: int) -> bool:
+        """False when the row is poisoned by a stuck-closed defect."""
+        return index not in self._closed_rows
+
+    def columns_are_usable(self, required_columns: int | None = None) -> bool:
+        """True when no column (of the required span) is poisoned.
+
+        With optimum-size crossbars every column is needed, so any
+        stuck-closed column makes mapping impossible; redundancy studies
+        pass the number of columns actually required.
+        """
+        if not self._closed_columns:
+            return True
+        if required_columns is None:
+            required_columns = self.columns
+        return all(column >= required_columns for column in self._closed_columns)
+
+    def functional_count(self) -> int:
+        """Number of functional crosspoints."""
+        return int(self._matrix.sum())
+
+    def defect_rate(self) -> float:
+        """Observed defect rate of the crossbar."""
+        return self._defect_map.defect_rate()
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarMatrix({self.rows}x{self.columns}, "
+            f"defects={self._defect_map.defect_count()}, "
+            f"closed_rows={len(self._closed_rows)}, "
+            f"closed_columns={len(self._closed_columns)})"
+        )

@@ -1,0 +1,116 @@
+"""The function matrix (FM) of the paper's §IV-B.
+
+The FM is the matrix view of a two-level crossbar design: one row per
+product (the ``FMm`` block) followed by one row per output (the ``FMo``
+block); one column per input-latch line (both polarities) followed by the
+``f`` and ``f̄`` column blocks.  An entry is 1 where the design needs a
+*programmable* (active) device.
+
+The FM is derived from the :class:`~repro.crossbar.two_level.
+TwoLevelDesign` layout so the matching algorithms and the physical
+layout can never drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.boolean.function import BooleanFunction
+from repro.crossbar.two_level import TwoLevelDesign
+from repro.exceptions import MappingError
+
+
+class FunctionMatrix:
+    """Binary requirement matrix of a two-level crossbar design."""
+
+    def __init__(self, function: BooleanFunction):
+        if function.num_products == 0:
+            raise MappingError("cannot build a function matrix with no products")
+        self._function = function
+        design = TwoLevelDesign(function)
+        self._layout = design.layout
+        self._matrix = np.array(self._layout.to_matrix(), dtype=np.uint8)
+        self._num_minterm_rows = function.num_products
+        self._num_output_rows = function.num_outputs
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> BooleanFunction:
+        """The source function."""
+        return self._function
+
+    @property
+    def layout(self):
+        """The two-level layout the matrix was derived from."""
+        return self._layout
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full (P+O) × (2I+2O) 0/1 matrix."""
+        return self._matrix
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows (P + O)."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        """Total number of columns (2I + 2O)."""
+        return self._matrix.shape[1]
+
+    @property
+    def num_minterm_rows(self) -> int:
+        """Number of product rows (the FMm block)."""
+        return self._num_minterm_rows
+
+    @property
+    def num_output_rows(self) -> int:
+        """Number of output rows (the FMo block)."""
+        return self._num_output_rows
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns)."""
+        return tuple(self._matrix.shape)
+
+    def minterm_rows(self) -> np.ndarray:
+        """The FMm block: requirement rows of the products."""
+        return self._matrix[: self._num_minterm_rows]
+
+    def output_rows(self) -> np.ndarray:
+        """The FMo block: requirement rows of the outputs."""
+        return self._matrix[self._num_minterm_rows :]
+
+    def row(self, index: int) -> np.ndarray:
+        """One requirement row."""
+        if not 0 <= index < self.num_rows:
+            raise MappingError(f"row index {index} out of range")
+        return self._matrix[index]
+
+    def row_label(self, index: int) -> str:
+        """Readable label (``m1``…``mP``, ``O1``…``OO``) for a row."""
+        if index < self._num_minterm_rows:
+            return f"m{index + 1}"
+        return f"O{index - self._num_minterm_rows + 1}"
+
+    def row_weight(self, index: int) -> int:
+        """Number of required devices in a row (its difficulty measure)."""
+        return int(self._matrix[index].sum())
+
+    def required_devices(self) -> int:
+        """Total number of active devices the design needs."""
+        return int(self._matrix.sum())
+
+    def inclusion_ratio(self) -> float:
+        """Used memristors / area — the IR column of the paper's Table II."""
+        return self.required_devices() / (self.num_rows * self.num_columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionMatrix({self._function.name or '<anonymous>'}: "
+            f"{self.num_rows}x{self.num_columns}, minterms="
+            f"{self._num_minterm_rows}, outputs={self._num_output_rows})"
+        )

@@ -1,0 +1,87 @@
+"""Result objects returned by the defect-tolerant mapping algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import MappingError
+
+
+@dataclass
+class MappingStatistics:
+    """Counters describing how hard the mapper had to work."""
+
+    compatibility_checks: int = 0
+    backtracks: int = 0
+    assignment_size: tuple[int, int] | None = None
+    matching_matrix_entries: int = 0
+
+
+@dataclass
+class MappingResult:
+    """Outcome of one defect-tolerant mapping attempt.
+
+    Attributes
+    ----------
+    success:
+        True when a complete, defect-avoiding row assignment was found.
+    algorithm:
+        ``"hybrid"`` (HBA), ``"exact"`` (EA), ``"greedy"`` or
+        ``"naive"`` — whichever mapper produced the result.
+    row_assignment:
+        Mapping from function-matrix row index (products first, then
+        outputs) to the physical crossbar row hosting it; empty when the
+        attempt failed.
+    failure_reason:
+        Human-readable reason when ``success`` is False.
+    runtime_seconds:
+        Wall-clock time of the mapping attempt.
+    used_complement:
+        True when the mapped implementation is the complemented circuit
+        (the paper's dual optimisation).
+    statistics:
+        Work counters (backtracks, matrix sizes, …) for the ablation and
+        runtime analyses.
+    """
+
+    success: bool
+    algorithm: str
+    row_assignment: dict[int, int] = field(default_factory=dict)
+    failure_reason: str = ""
+    runtime_seconds: float = 0.0
+    used_complement: bool = False
+    statistics: MappingStatistics = field(default_factory=MappingStatistics)
+
+    def assigned_rows(self) -> list[int]:
+        """Physical rows used by the mapping, sorted."""
+        return sorted(self.row_assignment.values())
+
+    def assignment_vector(self, num_rows: int) -> list[int]:
+        """Physical row of every function-matrix row, as a dense list.
+
+        Raises when the mapping is incomplete for the requested size.
+        """
+        if not self.success:
+            raise MappingError("cannot materialise a failed mapping")
+        missing = [row for row in range(num_rows) if row not in self.row_assignment]
+        if missing:
+            raise MappingError(f"mapping is missing rows {missing}")
+        return [self.row_assignment[row] for row in range(num_rows)]
+
+    def validate_injective(self) -> bool:
+        """True when no two function rows share a physical row."""
+        targets = list(self.row_assignment.values())
+        return len(targets) == len(set(targets))
+
+    def __bool__(self) -> bool:
+        return self.success
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.success else f"FAIL ({self.failure_reason})"
+        dual = " [dual]" if self.used_complement else ""
+        return (
+            f"{self.algorithm}: {status}{dual}, rows={len(self.row_assignment)}, "
+            f"time={self.runtime_seconds * 1e3:.2f} ms, "
+            f"backtracks={self.statistics.backtracks}"
+        )

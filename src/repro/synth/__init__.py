@@ -1,0 +1,78 @@
+"""Multi-level NAND synthesis substrate (the library's stand-in for ABC).
+
+The paper obtains its multi-level designs by forcing Berkeley ABC to a
+NAND library with fan-in 2…n; this subpackage provides an equivalent,
+pure-Python pipeline: quick factoring of the two-level cover, fan-in
+bounded NAND decomposition, structural gate sharing, and crossbar-area
+estimation of the resulting network.
+"""
+
+from repro.synth.area import (
+    MultiLevelAreaReport,
+    compare_networks,
+    multilevel_area,
+    multilevel_area_report,
+)
+from repro.synth.decompose import (
+    add_wide_and,
+    add_wide_nand,
+    invert_signal,
+    map_cover_factored,
+    map_cover_two_level_nand,
+    map_factor_tree,
+)
+from repro.synth.factoring import (
+    FactorAnd,
+    FactorLiteral,
+    FactorNode,
+    FactorOr,
+    cube_to_factor,
+    factor_tree_literals,
+    factored_expression,
+    quick_factor,
+)
+from repro.synth.network import NandGate, NandNetwork, OutputSpec
+from repro.synth.signals import GateRef, Literal, Signal, is_gate, is_literal
+from repro.synth.tech_map import (
+    STRATEGIES,
+    MappingOptions,
+    best_network,
+    map_all_strategies,
+    technology_map,
+    verify_network,
+)
+
+__all__ = [
+    "Literal",
+    "GateRef",
+    "Signal",
+    "is_literal",
+    "is_gate",
+    "NandGate",
+    "NandNetwork",
+    "OutputSpec",
+    "FactorLiteral",
+    "FactorAnd",
+    "FactorOr",
+    "FactorNode",
+    "quick_factor",
+    "cube_to_factor",
+    "factor_tree_literals",
+    "factored_expression",
+    "add_wide_nand",
+    "add_wide_and",
+    "invert_signal",
+    "map_cover_two_level_nand",
+    "map_cover_factored",
+    "map_factor_tree",
+    "MappingOptions",
+    "technology_map",
+    "map_all_strategies",
+    "best_network",
+    "verify_network",
+    "STRATEGIES",
+    "MultiLevelAreaReport",
+    "multilevel_area",
+    "multilevel_area_report",
+    "compare_networks",
+]

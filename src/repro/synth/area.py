@@ -1,0 +1,109 @@
+"""Crossbar-area estimation for NAND networks (multi-level designs).
+
+The multi-level crossbar of the paper devotes one horizontal line to each
+NAND gate plus one per output latch row, and its vertical lines are the
+two-polarity input latch, one *multi-level connection* column per gate
+whose result is consumed by a later gate, and the ``f`` / ``f̄`` column
+pair per output.  This module computes that area (and the corresponding
+inclusion ratio) from a :class:`~repro.synth.network.NandNetwork` without
+materialising the full layout — the experiments sweep thousands of random
+networks, so the closed-form evaluation matters.
+
+The full layout constructor in :mod:`repro.crossbar.multi_level` uses the
+same accounting; a cross-check between the two is part of the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.network import NandNetwork
+from repro.synth.signals import GateRef, Literal
+
+
+@dataclass(frozen=True)
+class MultiLevelAreaReport:
+    """Breakdown of a multi-level crossbar's size.
+
+    Attributes mirror the quantities discussed in §III of the paper.
+    """
+
+    rows: int
+    columns: int
+    gate_rows: int
+    output_rows: int
+    input_columns: int
+    connection_columns: int
+    output_columns: int
+    active_devices: int
+    num_levels: int
+
+    @property
+    def area(self) -> int:
+        """Total crossbar area (rows × columns)."""
+        return self.rows * self.columns
+
+    @property
+    def inclusion_ratio(self) -> float:
+        """Fraction of crosspoints carrying an active (programmable) device."""
+        if self.area == 0:
+            return 0.0
+        return self.active_devices / self.area
+
+
+def multilevel_area_report(network: NandNetwork) -> MultiLevelAreaReport:
+    """Compute the area breakdown of the multi-level design for a network."""
+    num_inputs = network.num_inputs
+    num_outputs = network.num_outputs
+    gate_rows = network.gate_count()
+    output_rows = num_outputs
+
+    internal = network.internal_gate_ids()
+    connection_columns = len(internal)
+
+    rows = gate_rows + output_rows
+    input_columns = 2 * num_inputs
+    output_columns = 2 * num_outputs
+    columns = input_columns + connection_columns + output_columns
+
+    # Active devices: one per gate fan-in (literal fan-ins sit in the input
+    # latch columns, gate fan-ins in the connection columns), one per
+    # gate-output copy into its connection column, one per output-driver
+    # connection, and the f / f̄ pair per output latch row.
+    active = network.total_fanin_connections()
+    active += len(internal)
+    for output in network.outputs:
+        if isinstance(output.driver, (GateRef, Literal)):
+            active += 1
+    active += 2 * num_outputs
+
+    return MultiLevelAreaReport(
+        rows=rows,
+        columns=columns,
+        gate_rows=gate_rows,
+        output_rows=output_rows,
+        input_columns=input_columns,
+        connection_columns=connection_columns,
+        output_columns=output_columns,
+        active_devices=active,
+        num_levels=network.depth(),
+    )
+
+
+def multilevel_area(network: NandNetwork) -> int:
+    """Total multi-level crossbar area for a NAND network."""
+    return multilevel_area_report(network).area
+
+
+def compare_networks(*networks: NandNetwork) -> NandNetwork:
+    """Return the network with the smallest multi-level crossbar area.
+
+    Ties are broken towards fewer gates, then fewer logic levels, so the
+    choice is deterministic.
+    """
+    if not networks:
+        raise ValueError("compare_networks needs at least one network")
+    return min(
+        networks,
+        key=lambda n: (multilevel_area(n), n.gate_count(), n.depth()),
+    )

@@ -1,0 +1,242 @@
+"""Mapping covers and factor trees onto fan-in-bounded NAND networks.
+
+The paper constrains ABC to NAND gates "which have fan-in sizes 2 to n
+that is determined according to input size of a given logic function";
+this module provides the equivalent mapping machinery:
+
+* :func:`add_wide_nand` / :func:`add_wide_and` — build a NAND (or AND) of
+  arbitrarily many signals while respecting a maximum gate fan-in, by
+  chunking into a tree;
+* :func:`map_cover_two_level_nand` — the direct NAND–NAND decomposition
+  (one NAND per multi-literal product, single-literal products folded
+  into the output NAND as complemented literals, exactly as in Fig. 5 of
+  the paper);
+* :func:`map_factor_tree` — polarity-aware mapping of a factored AND/OR
+  tree onto NAND gates with memoised sub-tree sharing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.boolean.cover import Cover
+from repro.exceptions import SynthesisError
+from repro.synth.factoring import (
+    FactorAnd,
+    FactorLiteral,
+    FactorNode,
+    FactorOr,
+    quick_factor,
+)
+from repro.synth.network import NandNetwork
+from repro.synth.signals import GateRef, Literal, Signal
+
+
+def add_wide_nand(
+    network: NandNetwork, signals: Sequence[Signal], max_fanin: int
+) -> GateRef:
+    """NAND of any number of signals, splitting to respect ``max_fanin``.
+
+    A NAND of more than ``max_fanin`` inputs is built as
+    ``NAND(AND(chunk₁), AND(chunk₂), …)`` where each chunk AND is itself a
+    fan-in-bounded NAND followed by an inverter.
+    """
+    if max_fanin < 2:
+        raise SynthesisError("max_fanin must be at least 2")
+    signals = list(signals)
+    if not signals:
+        raise SynthesisError("add_wide_nand needs at least one signal")
+    if len(signals) <= max_fanin:
+        return network.add_gate(signals)
+    chunk_signals: list[Signal] = []
+    for start in range(0, len(signals), max_fanin):
+        chunk = signals[start : start + max_fanin]
+        if len(chunk) == 1:
+            chunk_signals.append(chunk[0])
+        else:
+            chunk_signals.append(add_wide_and(network, chunk, max_fanin))
+    return add_wide_nand(network, chunk_signals, max_fanin)
+
+
+def add_wide_and(
+    network: NandNetwork, signals: Sequence[Signal], max_fanin: int
+) -> GateRef:
+    """AND of any number of signals as ``INV(NAND(...))`` with fan-in bound."""
+    nand_ref = add_wide_nand(network, signals, max_fanin)
+    return network.add_gate([nand_ref])
+
+
+def invert_signal(network: NandNetwork, signal: Signal) -> Signal:
+    """Complement of a signal: free for literals, one gate for gate outputs."""
+    if isinstance(signal, Literal):
+        return signal.inverted()
+    return network.add_gate([signal])
+
+
+# ----------------------------------------------------------------------
+# Direct two-level NAND-NAND decomposition
+# ----------------------------------------------------------------------
+def map_cover_two_level_nand(
+    network: NandNetwork,
+    cover: Cover,
+    output_name: str,
+    *,
+    max_fanin: int,
+    register_output: bool = True,
+) -> tuple[Signal, bool]:
+    """Map a cover as NAND-of-NANDs and (optionally) register the output.
+
+    Returns ``(driver, invert)`` — the signal driving the output and
+    whether the output latch must take its complement.
+
+    Single-literal products are folded into the final NAND as complemented
+    literals (no gate), reproducing the structure of the paper's Fig. 5
+    example where ``x1 + x2 + x3 + x4 + x5x6x7x8`` needs only two NAND
+    gates.
+    """
+    if cover.is_empty():
+        driver, invert = _constant_driver(network, value=False)
+    elif cover.has_full_dont_care():
+        driver, invert = _constant_driver(network, value=True)
+    else:
+        product_complements: list[Signal] = []
+        for cube in cover:
+            literals = [
+                Literal(index, polarity) for index, polarity in cube.literals()
+            ]
+            if len(literals) == 1:
+                # NAND(x) == ~x, and input complements are free.
+                product_complements.append(literals[0].inverted())
+            else:
+                product_complements.append(
+                    add_wide_nand(network, literals, max_fanin)
+                )
+        if len(product_complements) == 1:
+            # f is a single product: its complement signal drives the output
+            # inverted (the output latch provides the inversion for free).
+            driver, invert = product_complements[0], True
+        else:
+            driver = add_wide_nand(network, product_complements, max_fanin)
+            invert = False
+    driver, invert = _materialise_literal_driver(network, driver, invert)
+    if register_output:
+        network.add_output(output_name, driver, invert=invert)
+    return driver, invert
+
+
+def _materialise_literal_driver(
+    network: NandNetwork, driver: Signal, invert: bool
+) -> tuple[Signal, bool]:
+    """Ensure an output is driven by a gate row, never by a bare literal.
+
+    The multi-level crossbar taps outputs from an evaluated gate row; an
+    output that happens to equal a single literal therefore gets a
+    one-input NAND (inverter) row, and the output latch un-inverts it.
+    """
+    if isinstance(driver, Literal):
+        return network.add_gate([driver]), not invert
+    return driver, invert
+
+
+def _constant_driver(network: NandNetwork, *, value: bool) -> tuple[Signal, bool]:
+    """A constant output built from an always-true NAND (``NAND(x, x̄) = 1``).
+
+    Constant outputs never occur in the paper's benchmarks but the mapper
+    must not crash on them.
+    """
+    if network.num_inputs == 0:
+        raise SynthesisError("cannot build a constant without any input")
+    always_one = network.add_gate([Literal(0, True), Literal(0, False)])
+    return always_one, not value
+
+
+# ----------------------------------------------------------------------
+# Factored-form mapping
+# ----------------------------------------------------------------------
+class _FactorMapper:
+    """Polarity-aware mapper from factor trees to NAND gates."""
+
+    def __init__(self, network: NandNetwork, max_fanin: int):
+        self._network = network
+        self._max_fanin = max_fanin
+        self._cache: dict[tuple[int, bool], Signal] = {}
+
+    def map(self, node: FactorNode, *, inverted: bool) -> Signal:
+        """Return a signal computing ``node`` (or its complement)."""
+        key = (id(node), inverted)
+        if key in self._cache:
+            return self._cache[key]
+        signal = self._map_uncached(node, inverted)
+        self._cache[key] = signal
+        return signal
+
+    def _map_uncached(self, node: FactorNode, inverted: bool) -> Signal:
+        if isinstance(node, FactorLiteral):
+            literal = Literal(node.input_index, node.polarity)
+            return literal.inverted() if inverted else literal
+        if isinstance(node, FactorAnd):
+            children = [self.map(child, inverted=False) for child in node.children]
+            nand_ref = add_wide_nand(self._network, children, self._max_fanin)
+            if inverted:
+                return nand_ref
+            return self._network.add_gate([nand_ref])
+        if isinstance(node, FactorOr):
+            children = [self.map(child, inverted=True) for child in node.children]
+            or_ref = add_wide_nand(self._network, children, self._max_fanin)
+            if inverted:
+                return self._network.add_gate([or_ref])
+            return or_ref
+        raise SynthesisError(f"unknown factor node type {type(node)!r}")
+
+
+def map_factor_tree(
+    network: NandNetwork,
+    tree: FactorNode,
+    output_name: str,
+    *,
+    max_fanin: int,
+    register_output: bool = True,
+) -> tuple[Signal, bool]:
+    """Map a factor tree onto NAND gates and register the output.
+
+    The output polarity is chosen to avoid a final inverter whenever
+    possible (the crossbar's output latch provides both polarities).
+    """
+    mapper = _FactorMapper(network, max_fanin)
+    if isinstance(tree, FactorLiteral):
+        driver: Signal = network.add_gate([Literal(tree.input_index, tree.polarity)])
+        invert = True
+    elif isinstance(tree, FactorAnd):
+        # Compute the NAND (cheaper) and let the output latch invert it.
+        driver = mapper.map(tree, inverted=True)
+        invert = True
+    else:
+        driver = mapper.map(tree, inverted=False)
+        invert = False
+    if register_output:
+        network.add_output(output_name, driver, invert=invert)
+    return driver, invert
+
+
+def map_cover_factored(
+    network: NandNetwork,
+    cover: Cover,
+    output_name: str,
+    *,
+    max_fanin: int,
+    register_output: bool = True,
+) -> tuple[Signal, bool]:
+    """Quick-factor a cover and map the factored form onto NAND gates."""
+    if cover.is_empty():
+        driver, invert = _constant_driver(network, value=False)
+    elif cover.has_full_dont_care():
+        driver, invert = _constant_driver(network, value=True)
+    else:
+        tree = quick_factor(cover)
+        driver, invert = map_factor_tree(
+            network, tree, output_name, max_fanin=max_fanin, register_output=False
+        )
+    driver, invert = _materialise_literal_driver(network, driver, invert)
+    if register_output:
+        network.add_output(output_name, driver, invert=invert)
+    return driver, invert

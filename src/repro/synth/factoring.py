@@ -1,0 +1,201 @@
+"""Algebraic factoring of sum-of-products covers.
+
+The paper's multi-level results are produced by forcing Berkeley ABC to a
+NAND-gate library, which implicitly restructures the two-level cover into
+a factored multi-level form.  We reproduce that restructuring with the
+classical *quick factoring* recursion (the same one used by SIS's
+``print_factor``): repeatedly divide the cover by its most frequent
+literal, producing an AND/OR expression tree whose literal count is at
+most the cover's and usually much smaller when products share literals.
+
+The tree is technology-independent; :mod:`repro.synth.decompose` maps it
+onto fan-in-bounded NAND gates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import DONT_CARE, NEGATIVE, POSITIVE, Cube
+from repro.exceptions import SynthesisError
+
+
+@dataclass(frozen=True)
+class FactorLiteral:
+    """Leaf of a factor tree: one input variable in one polarity."""
+
+    input_index: int
+    polarity: bool
+
+    def literal_count(self) -> int:
+        """Always 1 — used by the tree-size metric."""
+        return 1
+
+    def to_expression(self, input_names: Sequence[str] | None = None) -> str:
+        """Readable form such as ``x2`` or ``~x2``."""
+        name = (
+            input_names[self.input_index]
+            if input_names is not None
+            else f"x{self.input_index + 1}"
+        )
+        return name if self.polarity else f"~{name}"
+
+
+@dataclass(frozen=True)
+class FactorAnd:
+    """Internal AND node of a factor tree."""
+
+    children: tuple["FactorNode", ...]
+
+    def literal_count(self) -> int:
+        """Total literal leaves below the node."""
+        return sum(child.literal_count() for child in self.children)
+
+    def to_expression(self, input_names: Sequence[str] | None = None) -> str:
+        """Readable conjunction with parenthesised OR children."""
+        parts = []
+        for child in self.children:
+            text = child.to_expression(input_names)
+            if isinstance(child, FactorOr):
+                text = f"({text})"
+            parts.append(text)
+        return " & ".join(parts)
+
+
+@dataclass(frozen=True)
+class FactorOr:
+    """Internal OR node of a factor tree."""
+
+    children: tuple["FactorNode", ...]
+
+    def literal_count(self) -> int:
+        """Total literal leaves below the node."""
+        return sum(child.literal_count() for child in self.children)
+
+    def to_expression(self, input_names: Sequence[str] | None = None) -> str:
+        """Readable disjunction."""
+        return " | ".join(child.to_expression(input_names) for child in self.children)
+
+
+#: Union type of the factor-tree nodes.
+FactorNode = FactorLiteral | FactorAnd | FactorOr
+
+
+def _make_and(children: list[FactorNode]) -> FactorNode:
+    flattened: list[FactorNode] = []
+    for child in children:
+        if isinstance(child, FactorAnd):
+            flattened.extend(child.children)
+        else:
+            flattened.append(child)
+    if len(flattened) == 1:
+        return flattened[0]
+    if not flattened:
+        raise SynthesisError("AND node needs at least one child")
+    return FactorAnd(tuple(flattened))
+
+
+def _make_or(children: list[FactorNode]) -> FactorNode:
+    flattened: list[FactorNode] = []
+    for child in children:
+        if isinstance(child, FactorOr):
+            flattened.extend(child.children)
+        else:
+            flattened.append(child)
+    if len(flattened) == 1:
+        return flattened[0]
+    if not flattened:
+        raise SynthesisError("OR node needs at least one child")
+    return FactorOr(tuple(flattened))
+
+
+def cube_to_factor(cube: Cube) -> FactorNode:
+    """Turn a single cube into an AND of literal leaves."""
+    literals = [
+        FactorLiteral(index, polarity) for index, polarity in cube.literals()
+    ]
+    if not literals:
+        raise SynthesisError("cannot factor the universal cube into literals")
+    return _make_and(list(literals))
+
+
+def quick_factor(cover: Cover) -> FactorNode:
+    """Quick-factor a non-trivial cover into an AND/OR tree.
+
+    Raises
+    ------
+    SynthesisError
+        For the constant covers (empty or tautological) — the callers
+        handle constants before factoring.
+    """
+    if cover.is_empty() or cover.has_full_dont_care():
+        raise SynthesisError("cannot factor a constant cover")
+    return _factor_recursive(cover)
+
+
+def _factor_recursive(cover: Cover) -> FactorNode:
+    cubes = list(cover.cubes)
+    if len(cubes) == 1:
+        return cube_to_factor(cubes[0])
+
+    best = _most_frequent_literal(cover)
+    if best is None:
+        # No literal shared by two or more cubes: plain OR of products.
+        return _make_or([cube_to_factor(cube) for cube in cubes])
+
+    variable, polarity = best
+    literal_value = POSITIVE if polarity else NEGATIVE
+
+    quotient_cubes = []
+    remainder_cubes = []
+    for cube in cubes:
+        if cube[variable] == literal_value:
+            quotient_cubes.append(cube.expand_variable(variable))
+        else:
+            remainder_cubes.append(cube)
+
+    quotient = Cover(cover.num_inputs, quotient_cubes)
+    literal_leaf = FactorLiteral(variable, polarity)
+    if quotient.has_full_dont_care():
+        # The literal itself is one of the products: x + x·rest = x.
+        factored_quotient: FactorNode = literal_leaf
+    else:
+        factored_quotient = _make_and([literal_leaf, _factor_recursive(quotient)])
+
+    if not remainder_cubes:
+        return factored_quotient
+    remainder = Cover(cover.num_inputs, remainder_cubes)
+    return _make_or([factored_quotient, _factor_recursive(remainder)])
+
+
+def _most_frequent_literal(cover: Cover) -> tuple[int, bool] | None:
+    """The literal occurring in the most cubes, if it occurs at least twice.
+
+    Ties are broken deterministically towards lower input indices and the
+    positive polarity so factoring is reproducible.
+    """
+    counts: dict[tuple[int, bool], int] = {}
+    for cube in cover:
+        for index, polarity in cube.literals():
+            counts[(index, polarity)] = counts.get((index, polarity), 0) + 1
+    if not counts:
+        return None
+    best_key = None
+    best_count = 1
+    for (index, polarity), count in sorted(counts.items()):
+        if count > best_count:
+            best_count = count
+            best_key = (index, polarity)
+    return best_key
+
+
+def factor_tree_literals(node: FactorNode) -> int:
+    """Literal count of a factor tree (the classic factored-form metric)."""
+    return node.literal_count()
+
+
+def factored_expression(cover: Cover, input_names: Sequence[str] | None = None) -> str:
+    """Convenience: quick-factor a cover and render it as text."""
+    return quick_factor(cover).to_expression(input_names)

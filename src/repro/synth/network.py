@@ -1,0 +1,292 @@
+"""NAND-gate network: the multi-level representation mapped onto crossbars.
+
+The paper's multi-level design evaluates NAND gates one per horizontal
+line, one at a time, feeding earlier results into later rows through
+*multi-level connection* columns.  :class:`NandNetwork` is the
+technology-mapped netlist that the :mod:`repro.crossbar.multi_level`
+module turns into such a layout:
+
+* every gate is an n-input NAND whose fan-ins are primary-input literals
+  (either polarity, free) or outputs of earlier gates;
+* the network is a DAG; gates are stored in a valid topological order
+  (fan-ins always precede the gate);
+* each primary output is driven by one gate and may be taken in either
+  polarity (the crossbar's output latch produces both ``f`` and ``f̄``,
+  so a final inversion is free — the same observation the paper uses for
+  its dual-mapping optimisation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import SynthesisError
+from repro.synth.signals import GateRef, Literal, Signal, is_gate, signal_sort_key
+
+
+@dataclass(frozen=True)
+class NandGate:
+    """A single NAND gate: output = NOT(AND of all fan-ins)."""
+
+    gate_id: int
+    fanins: tuple[Signal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fanins:
+            raise SynthesisError("a NAND gate needs at least one fan-in")
+        for signal in self.fanins:
+            if is_gate(signal) and signal.gate_id >= self.gate_id:
+                raise SynthesisError(
+                    f"gate {self.gate_id} references gate {signal.gate_id} that is "
+                    "not earlier in topological order"
+                )
+
+    @property
+    def fanin_count(self) -> int:
+        """Number of fan-ins (the crossbar row's device count)."""
+        return len(self.fanins)
+
+    def is_inverter(self) -> bool:
+        """True for a single-input NAND (a plain inverter)."""
+        return len(self.fanins) == 1
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """How a primary output is produced from the network."""
+
+    name: str
+    driver: Signal
+    invert: bool = False
+
+
+class NandNetwork:
+    """A technology-mapped NAND network over named inputs and outputs."""
+
+    def __init__(self, input_names: Sequence[str], name: str = ""):
+        self._input_names = tuple(str(n) for n in input_names)
+        self._name = str(name)
+        self._gates: list[NandGate] = []
+        self._outputs: list[OutputSpec] = []
+        self._structural_hash: dict[frozenset, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(self, fanins: Iterable[Signal], *, share: bool = True) -> GateRef:
+        """Append a NAND gate and return a reference to it.
+
+        Duplicate fan-ins are collapsed (NAND is idempotent in repeated
+        inputs) and structurally identical gates are shared when ``share``
+        is true.
+        """
+        unique = []
+        seen = set()
+        for signal in fanins:
+            self._validate_signal(signal)
+            if signal in seen:
+                continue
+            seen.add(signal)
+            unique.append(signal)
+        if not unique:
+            raise SynthesisError("cannot create a NAND gate with no fan-ins")
+        unique.sort(key=signal_sort_key)
+        key = frozenset(unique)
+        if share and key in self._structural_hash:
+            return GateRef(self._structural_hash[key])
+        gate_id = len(self._gates)
+        self._gates.append(NandGate(gate_id, tuple(unique)))
+        if share:
+            self._structural_hash[key] = gate_id
+        return GateRef(gate_id)
+
+    def add_inverter(self, signal: Signal) -> GateRef:
+        """Add a single-input NAND implementing NOT(signal)."""
+        if isinstance(signal, Literal):
+            raise SynthesisError(
+                "inverting a literal is free; use Literal.inverted() instead"
+            )
+        return self.add_gate([signal])
+
+    def add_output(self, name: str, driver: Signal, *, invert: bool = False) -> None:
+        """Declare a primary output driven by ``driver`` (optionally inverted).
+
+        A literal driver is allowed (an output that is just a wire or an
+        input complement).
+        """
+        self._validate_signal(driver)
+        if any(out.name == name for out in self._outputs):
+            raise SynthesisError(f"duplicate output name {name!r}")
+        self._outputs.append(OutputSpec(name, driver, invert))
+
+    def _validate_signal(self, signal: Signal) -> None:
+        if isinstance(signal, Literal):
+            if signal.input_index >= len(self._input_names):
+                raise SynthesisError(
+                    f"literal references input {signal.input_index}, network has "
+                    f"{len(self._input_names)} inputs"
+                )
+        elif isinstance(signal, GateRef):
+            if signal.gate_id >= len(self._gates):
+                raise SynthesisError(
+                    f"signal references gate {signal.gate_id}, network has "
+                    f"{len(self._gates)} gates"
+                )
+        else:
+            raise SynthesisError(f"unknown signal type {type(signal)!r}")
+
+    # ------------------------------------------------------------------
+    # Accessors / statistics
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Circuit name."""
+        return self._name
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        """Primary-input names."""
+        return self._input_names
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self._input_names)
+
+    @property
+    def gates(self) -> tuple[NandGate, ...]:
+        """All gates in topological order."""
+        return tuple(self._gates)
+
+    @property
+    def outputs(self) -> tuple[OutputSpec, ...]:
+        """Primary-output specifications."""
+        return tuple(self._outputs)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        """Primary-output names in declaration order."""
+        return tuple(out.name for out in self._outputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self._outputs)
+
+    def gate_count(self) -> int:
+        """Total number of NAND gates."""
+        return len(self._gates)
+
+    def max_fanin(self) -> int:
+        """Largest gate fan-in in the network (0 for an empty network)."""
+        if not self._gates:
+            return 0
+        return max(gate.fanin_count for gate in self._gates)
+
+    def total_fanin_connections(self) -> int:
+        """Sum of fan-ins over all gates (device count of the NAND rows)."""
+        return sum(gate.fanin_count for gate in self._gates)
+
+    def internal_gate_ids(self) -> set[int]:
+        """Gates whose output feeds at least one other gate.
+
+        Each of these needs one multi-level connection column on the
+        crossbar.
+        """
+        internal: set[int] = set()
+        for gate in self._gates:
+            for signal in gate.fanins:
+                if is_gate(signal):
+                    internal.add(signal.gate_id)
+        return internal
+
+    def fanout_counts(self) -> dict[int, int]:
+        """Number of gate-level fanouts for every gate id."""
+        counts = {gate.gate_id: 0 for gate in self._gates}
+        for gate in self._gates:
+            for signal in gate.fanins:
+                if is_gate(signal):
+                    counts[signal.gate_id] += 1
+        return counts
+
+    def levels(self) -> dict[int, int]:
+        """Logic level of every gate (literal-only gates are level 1)."""
+        level: dict[int, int] = {}
+        for gate in self._gates:
+            depth = 1
+            for signal in gate.fanins:
+                if is_gate(signal):
+                    depth = max(depth, level[signal.gate_id] + 1)
+            level[gate.gate_id] = depth
+        return level
+
+    def depth(self) -> int:
+        """Number of logic levels (0 for a gate-free network)."""
+        levels = self.levels()
+        return max(levels.values()) if levels else 0
+
+    def evaluation_order(self) -> list[int]:
+        """Gate ids in the order the crossbar evaluates them (topological)."""
+        return [gate.gate_id for gate in self._gates]
+
+    def __repr__(self) -> str:
+        label = self._name or "<anonymous>"
+        return (
+            f"NandNetwork({label}: inputs={self.num_inputs}, "
+            f"gates={self.gate_count()}, outputs={self.num_outputs}, "
+            f"depth={self.depth()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Sequence[int] | Sequence[bool]) -> list[bool]:
+        """Evaluate all primary outputs under a complete input assignment."""
+        if len(assignment) != len(self._input_names):
+            raise SynthesisError(
+                f"assignment has {len(assignment)} values, network expects "
+                f"{len(self._input_names)}"
+            )
+        values = self.evaluate_gates(assignment)
+        results = []
+        for output in self._outputs:
+            value = self._signal_value(output.driver, assignment, values)
+            results.append((not value) if output.invert else value)
+        return results
+
+    def evaluate_gates(
+        self, assignment: Sequence[int] | Sequence[bool]
+    ) -> dict[int, bool]:
+        """Evaluate every gate, returning ``{gate_id: value}``."""
+        values: dict[int, bool] = {}
+        for gate in self._gates:
+            conjunction = True
+            for signal in gate.fanins:
+                if not self._signal_value(signal, assignment, values):
+                    conjunction = False
+                    break
+            values[gate.gate_id] = not conjunction
+        return values
+
+    @staticmethod
+    def _signal_value(signal: Signal, assignment, gate_values: dict[int, bool]) -> bool:
+        if isinstance(signal, Literal):
+            return signal.evaluate(assignment)
+        return gate_values[signal.gate_id]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable netlist listing."""
+        lines = [repr(self)]
+        for gate in self._gates:
+            fanin_text = ", ".join(s.label(self._input_names) for s in gate.fanins)
+            lines.append(f"  g{gate.gate_id} = NAND({fanin_text})")
+        for output in self._outputs:
+            driver = output.driver.label(self._input_names)
+            if output.invert:
+                driver = f"~{driver}"
+            lines.append(f"  {output.name} = {driver}")
+        return "\n".join(lines)

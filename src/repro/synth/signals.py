@@ -1,0 +1,89 @@
+"""Signal references used by the NAND network representation.
+
+Two kinds of signals can drive a NAND gate input on the multi-level
+crossbar of the paper:
+
+* a *literal* — one of the primary inputs in either polarity.  Both
+  polarities are free because the crossbar's input latch stores ``x`` and
+  ``x̄`` side by side (Fig. 3/5 of the paper);
+* a *gate reference* — the result of a previously evaluated NAND row,
+  copied to a multi-level connection column during the CR phase.  Gate
+  outputs are only available in NAND polarity; inverting one costs an
+  explicit single-input NAND gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SynthesisError
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A primary-input literal: input index plus polarity.
+
+    ``polarity`` is True for the uncomplemented input ``x`` and False for
+    ``x̄``.
+    """
+
+    input_index: int
+    polarity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.input_index < 0:
+            raise SynthesisError("literal input index must be non-negative")
+
+    def inverted(self) -> "Literal":
+        """The same input with opposite polarity (free on the crossbar)."""
+        return Literal(self.input_index, not self.polarity)
+
+    def evaluate(self, assignment) -> bool:
+        """Value of the literal under a complete input assignment."""
+        value = bool(assignment[self.input_index])
+        return value if self.polarity else not value
+
+    def label(self, input_names=None) -> str:
+        """Readable name such as ``x3`` or ``~x3``."""
+        name = (
+            input_names[self.input_index]
+            if input_names is not None
+            else f"x{self.input_index + 1}"
+        )
+        return name if self.polarity else f"~{name}"
+
+
+@dataclass(frozen=True, order=True)
+class GateRef:
+    """Reference to the output of another NAND gate in the network."""
+
+    gate_id: int
+
+    def __post_init__(self) -> None:
+        if self.gate_id < 0:
+            raise SynthesisError("gate id must be non-negative")
+
+    def label(self, input_names=None) -> str:
+        """Readable name such as ``g4``."""
+        return f"g{self.gate_id}"
+
+
+#: Union type of the two signal kinds.
+Signal = Literal | GateRef
+
+
+def is_literal(signal: Signal) -> bool:
+    """True when ``signal`` is a primary-input literal."""
+    return isinstance(signal, Literal)
+
+
+def is_gate(signal: Signal) -> bool:
+    """True when ``signal`` refers to another gate."""
+    return isinstance(signal, GateRef)
+
+
+def signal_sort_key(signal: Signal) -> tuple:
+    """Deterministic ordering key mixing literals and gate references."""
+    if isinstance(signal, Literal):
+        return (0, signal.input_index, not signal.polarity)
+    return (1, signal.gate_id, 0)

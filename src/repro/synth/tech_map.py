@@ -1,0 +1,132 @@
+"""Technology mapping: Boolean functions → fan-in-bounded NAND networks.
+
+This is the library's stand-in for the paper's use of Berkeley ABC with a
+forced NAND library.  For every output the mapper tries both the direct
+NAND–NAND decomposition and the quick-factored form, keeps whichever
+produces the smaller multi-level crossbar, and shares structurally
+identical gates across outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.boolean.function import BooleanFunction
+from repro.exceptions import SynthesisError
+from repro.synth.area import multilevel_area
+from repro.synth.decompose import map_cover_factored, map_cover_two_level_nand
+from repro.synth.network import NandNetwork
+
+#: Mapping strategies accepted by :func:`technology_map`.
+STRATEGIES = ("two_level_nand", "factored", "best")
+
+
+@dataclass(frozen=True)
+class MappingOptions:
+    """Options controlling NAND technology mapping.
+
+    Attributes
+    ----------
+    max_fanin:
+        Largest NAND fan-in allowed.  ``None`` follows the paper and uses
+        the function's input count.
+    strategy:
+        ``"two_level_nand"`` for the direct NAND–NAND structure,
+        ``"factored"`` for quick-factoring, ``"best"`` to pick the smaller
+        of the two per function.
+    share_gates:
+        Whether structurally identical gates are merged across outputs.
+    """
+
+    max_fanin: int | None = None
+    strategy: str = "best"
+    share_gates: bool = True
+
+    def resolved_max_fanin(self, num_inputs: int) -> int:
+        """The effective fan-in bound (≥ 2)."""
+        if self.max_fanin is not None:
+            if self.max_fanin < 2:
+                raise SynthesisError("max_fanin must be at least 2")
+            return self.max_fanin
+        return max(2, num_inputs)
+
+
+def technology_map(
+    function: BooleanFunction,
+    *,
+    options: MappingOptions | None = None,
+) -> NandNetwork:
+    """Map a Boolean function onto a NAND network.
+
+    The returned network computes exactly the same outputs as ``function``
+    (the test-suite verifies this exhaustively for small functions and by
+    sampling for wide ones).
+    """
+    options = options or MappingOptions()
+    if options.strategy not in STRATEGIES:
+        raise SynthesisError(
+            f"unknown strategy {options.strategy!r}; expected one of {STRATEGIES}"
+        )
+    if options.strategy == "best":
+        candidates = [
+            _map_with_strategy(function, "two_level_nand", options),
+            _map_with_strategy(function, "factored", options),
+        ]
+        return min(candidates, key=lambda n: (multilevel_area(n), n.gate_count()))
+    return _map_with_strategy(function, options.strategy, options)
+
+
+def _map_with_strategy(
+    function: BooleanFunction, strategy: str, options: MappingOptions
+) -> NandNetwork:
+    network = NandNetwork(function.input_names, name=function.name)
+    max_fanin = options.resolved_max_fanin(function.num_inputs)
+    for index, output_name in enumerate(function.output_names):
+        cover = function.cover_for_output(index)
+        if strategy == "two_level_nand":
+            map_cover_two_level_nand(
+                network, cover, output_name, max_fanin=max_fanin
+            )
+        else:
+            map_cover_factored(network, cover, output_name, max_fanin=max_fanin)
+    return network
+
+
+def map_all_strategies(
+    function: BooleanFunction, *, max_fanin: int | None = None
+) -> dict[str, NandNetwork]:
+    """Map a function with every strategy; useful for ablation studies."""
+    results = {}
+    for strategy in ("two_level_nand", "factored"):
+        options = MappingOptions(max_fanin=max_fanin, strategy=strategy)
+        results[strategy] = technology_map(function, options=options)
+    return results
+
+
+def best_network(
+    function: BooleanFunction, *, max_fanin: int | None = None
+) -> NandNetwork:
+    """Shorthand for the ``"best"`` strategy."""
+    options = MappingOptions(max_fanin=max_fanin, strategy="best")
+    return technology_map(function, options=options)
+
+
+def verify_network(
+    function: BooleanFunction,
+    network: NandNetwork,
+    *,
+    exhaustive_limit: int = 12,
+    samples: int = 512,
+) -> bool:
+    """Check that a network computes the function (exhaustive or sampled)."""
+    from repro.boolean.truth_table import functions_agree
+
+    if tuple(network.output_names) != tuple(function.output_names):
+        return False
+    return functions_agree(
+        function,
+        network.evaluate,
+        exhaustive_limit=exhaustive_limit,
+        samples=samples,
+    )

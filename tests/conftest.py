@@ -1,0 +1,30 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import BooleanFunction, Cover, function_from_expressions, parse_sop
+
+
+@pytest.fixture
+def paper_single_output() -> BooleanFunction:
+    """The running example of §II/III: f = x1 + x2 + x3 + x4 + x5·x6·x7·x8."""
+    cover, _ = parse_sop("x1 + x2 + x3 + x4 + x5 x6 x7 x8")
+    return BooleanFunction.single_output(cover, name="paper_example")
+
+
+@pytest.fixture
+def paper_two_output() -> BooleanFunction:
+    """The Fig. 7/8 example: O1 = x1x2 + x2x̄3, O2 = x̄1x3 + x2x3."""
+    return function_from_expressions(
+        {"O1": "x1 x2 + x2 ~x3", "O2": "~x1 x3 + x2 x3"},
+        input_names=["x1", "x2", "x3"],
+        name="fig8_example",
+    )
+
+
+@pytest.fixture
+def small_cover() -> Cover:
+    """A tiny three-variable cover used by many structural tests."""
+    return Cover.from_strings(3, ["11-", "-01", "0-0"])

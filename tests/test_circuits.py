@@ -1,0 +1,167 @@
+"""Unit tests for the benchmark circuit suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import (
+    adder_circuit,
+    comparator_circuit,
+    count_ones_circuit,
+    exact_benchmark,
+    increment_circuit,
+    majority_circuit,
+    parity_circuit,
+    sqrt_circuit,
+    square_circuit,
+)
+from repro.circuits.registry import (
+    get_benchmark,
+    get_benchmark_pair,
+    get_benchmark_spec,
+    list_benchmarks,
+    small_benchmarks,
+)
+from repro.circuits.specs import TABLE1_SPECS, TABLE2_SPECS, get_spec
+from repro.circuits.synthetic import synthetic_benchmark
+from repro.crossbar.metrics import two_level_area_of
+from repro.exceptions import BenchmarkError
+from repro.mapping.function_matrix import FunctionMatrix
+
+
+class TestExactGenerators:
+    def test_rd53_counts_ones(self):
+        rd53 = count_ones_circuit(5)
+        assert rd53.num_inputs == 5
+        assert rd53.num_outputs == 3
+        for value, expected in ((0b00000, 0), (0b10101, 3), (0b11111, 5)):
+            bits = [(value >> i) & 1 for i in range(5)]
+            outputs = rd53.evaluate(bits)
+            encoded = sum((1 << i) for i, bit in enumerate(outputs) if bit)
+            assert encoded == expected
+
+    def test_sqrt8_semantics(self):
+        sqrt8 = sqrt_circuit(8)
+        for value in (0, 1, 4, 63, 200, 255):
+            bits = [(value >> i) & 1 for i in range(8)]
+            outputs = sqrt8.evaluate(bits)
+            encoded = sum((1 << i) for i, bit in enumerate(outputs) if bit)
+            assert encoded == int(value ** 0.5)
+
+    def test_squar5_semantics(self):
+        squar5 = square_circuit(5)
+        for value in (0, 3, 17, 31):
+            bits = [(value >> i) & 1 for i in range(5)]
+            outputs = squar5.evaluate(bits)
+            encoded = sum((1 << i) for i, bit in enumerate(outputs) if bit)
+            assert encoded == value * value
+
+    def test_adder_and_increment(self):
+        adder = adder_circuit(3)
+        bits = [1, 1, 0, 1, 0, 1]  # a = 3, b = 5
+        outputs = adder.evaluate(bits)
+        assert sum((1 << i) for i, bit in enumerate(outputs) if bit) == 8
+        incr = increment_circuit(3)
+        assert incr.evaluate([1, 1, 1]) == [False, False, False]  # 7 + 1 wraps
+
+    def test_parity_majority_comparator(self):
+        parity = parity_circuit(4)
+        assert parity.evaluate([1, 1, 1, 0]) == [True]
+        assert parity.evaluate([1, 1, 1, 1]) == [False]
+        majority = majority_circuit(3)
+        assert majority.evaluate([1, 1, 0]) == [True]
+        assert majority.evaluate([1, 0, 0]) == [False]
+        comparator = comparator_circuit(2)
+        assert comparator.evaluate([0, 1, 1, 0]) == [True, False]   # a=2 > b=1
+        assert comparator.evaluate([1, 0, 1, 0]) == [False, True]   # equal
+
+    def test_exact_benchmark_names(self):
+        assert exact_benchmark("rd53").num_inputs == 5
+        assert exact_benchmark("sqrt8").num_outputs == 4
+        assert exact_benchmark("maj5").num_inputs == 5
+        with pytest.raises(BenchmarkError):
+            exact_benchmark("unknown99")
+
+    def test_too_many_inputs_rejected(self):
+        from repro.circuits.generators import function_from_integer_map
+
+        with pytest.raises(BenchmarkError):
+            function_from_integer_map(20, 1, lambda v: v & 1, name="huge")
+
+
+class TestSpecs:
+    def test_every_table2_area_matches_formula(self):
+        for name, spec in TABLE2_SPECS.items():
+            if name == "misex3c":  # known inconsistency in the paper
+                continue
+            assert spec.two_level_area() == spec.paper_area, name
+
+    def test_table1_complement_areas(self):
+        for name, spec in TABLE1_SPECS.items():
+            if spec.complement_products is None:
+                continue
+            assert spec.complement_two_level_area() == spec.paper_complement_area, name
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(BenchmarkError):
+            get_spec("nonexistent")
+
+
+class TestSyntheticBenchmarks:
+    @pytest.mark.parametrize("name", list(TABLE2_SPECS))
+    def test_exact_dimensions(self, name):
+        spec = get_benchmark_spec(name)
+        function = get_benchmark(name)
+        assert function.num_inputs == spec.inputs
+        assert function.num_outputs == spec.outputs
+        assert function.num_products == spec.products
+        assert two_level_area_of(function) == spec.two_level_area()
+
+    @pytest.mark.parametrize("name", ["rd53", "bw", "exp5", "alu4", "rd84"])
+    def test_inclusion_ratio_calibration(self, name):
+        spec = get_benchmark_spec(name)
+        fm = FunctionMatrix(get_benchmark(name))
+        assert fm.inclusion_ratio() == pytest.approx(spec.inclusion_ratio, abs=0.035)
+
+    def test_deterministic_generation(self):
+        assert get_benchmark("rd53").products == get_benchmark("rd53").products
+
+    def test_all_outputs_driven(self):
+        function = get_benchmark("exp5")
+        driven = set()
+        for product in function.products:
+            driven |= product.outputs
+        assert driven == set(range(function.num_outputs))
+
+    def test_synthetic_benchmark_rejects_bad_spec(self):
+        from repro.circuits.specs import BenchmarkSpec
+
+        bad = BenchmarkSpec("bad", inputs=4, outputs=50, products=2)
+        with pytest.raises(BenchmarkError):
+            synthetic_benchmark(bad)
+
+
+class TestRegistry:
+    def test_list_and_small_benchmarks(self):
+        assert "alu4" in list_benchmarks()
+        assert "rd53" in list_benchmarks("table1")
+        assert "rd53" in list_benchmarks("functional")
+        assert set(small_benchmarks(40)) <= set(list_benchmarks())
+        assert "alu4" not in small_benchmarks(40)
+
+    def test_variants(self):
+        functional = get_benchmark("rd53", variant="functional")
+        synthetic = get_benchmark("rd53", variant="table2")
+        assert functional.num_inputs == synthetic.num_inputs
+        with pytest.raises(BenchmarkError):
+            get_benchmark("rd53", variant="bogus")
+        with pytest.raises(BenchmarkError):
+            list_benchmarks("bogus")
+
+    def test_benchmark_pair(self):
+        original, complement = get_benchmark_pair("misex1")
+        assert original.num_products == 12
+        assert complement is not None and complement.num_products == 46
+        b12_original, b12_complement = get_benchmark_pair("b12")
+        assert b12_original.num_inputs == 15
+        assert b12_complement.num_products == 34

@@ -1,0 +1,129 @@
+"""Unit tests for cover complementation and two-level minimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.complement import (
+    ComplementOverflowError,
+    complement_cover,
+    complement_cube,
+)
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.minimize import (
+    expand_cover,
+    irredundant_cover,
+    merge_distance_one,
+    minimize_cover,
+    prime_implicants,
+    quine_mccluskey,
+)
+
+
+def assert_complement(cover: Cover, complement: Cover) -> None:
+    table = cover.truth_table()
+    complement_table = complement.truth_table()
+    for row, value in enumerate(table):
+        assert complement_table[row] == (not value)
+
+
+class TestComplement:
+    def test_complement_cube_de_morgan(self):
+        cover = complement_cube(Cube.from_string("1-0"))
+        assert_complement(Cover(3, [Cube.from_string("1-0")]), cover)
+
+    def test_complement_empty_is_tautology(self):
+        assert complement_cover(Cover.zero(3)).is_tautology()
+
+    def test_complement_tautology_is_empty(self):
+        assert complement_cover(Cover.one(3)).is_empty()
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            ["11-", "-01"],
+            ["1--", "-1-", "--1"],
+            ["101", "010", "11-"],
+            ["0--0", "1--1", "-11-"],
+        ],
+    )
+    def test_complement_matches_truth_table(self, rows):
+        cover = Cover.from_strings(len(rows[0]), rows)
+        assert_complement(cover, complement_cover(cover))
+
+    def test_double_complement_is_identity(self, small_cover):
+        double = complement_cover(complement_cover(small_cover))
+        assert double.equivalent(small_cover)
+
+    def test_budget_overflow_raises(self):
+        # The complement of this cover needs several cubes, so a budget of
+        # one intermediate cube must overflow.
+        cover = Cover.from_strings(4, ["11--", "--11"])
+        with pytest.raises(ComplementOverflowError):
+            complement_cover(cover, max_cubes=1)
+
+
+class TestMinimize:
+    def test_merge_distance_one(self):
+        cover = Cover.from_strings(3, ["110", "111"])
+        merged = merge_distance_one(cover)
+        assert merged.num_products() == 1
+        assert merged.cubes[0].to_string() == "11-"
+
+    def test_expand_preserves_function(self, small_cover):
+        expanded = expand_cover(small_cover)
+        assert expanded.equivalent(small_cover)
+
+    def test_irredundant_removes_covered_cube(self):
+        cover = Cover.from_strings(3, ["1--", "-1-", "11-"])
+        reduced = irredundant_cover(cover)
+        assert reduced.equivalent(cover)
+        assert reduced.num_products() == 2
+
+    def test_minimize_preserves_function(self, small_cover):
+        minimized = minimize_cover(small_cover)
+        assert minimized.equivalent(small_cover)
+        assert minimized.num_products() <= small_cover.num_products()
+
+    def test_minimize_constant_covers(self):
+        assert minimize_cover(Cover.zero(3)).is_empty()
+        assert minimize_cover(Cover.one(3)).has_full_dont_care()
+
+    def test_minimize_classic_example(self):
+        # f = a·b + a·b̄ = a
+        cover = Cover.from_strings(2, ["11", "10"])
+        minimized = minimize_cover(cover)
+        assert minimized.num_products() == 1
+        assert minimized.cubes[0].to_string() == "1-"
+
+
+class TestQuineMcCluskey:
+    def test_prime_implicants_of_known_function(self):
+        primes = prime_implicants(3, [0, 1, 2, 3, 7])
+        strings = {p.to_string() for p in primes}
+        # on-set {000,100,010,110,111} (LSB = input 0): primes are --0 and 11-
+        assert "--0" in strings or "-1-" in strings or len(strings) >= 2
+
+    def test_qm_covers_exactly_the_onset(self):
+        minterms = [0, 1, 2, 5, 6, 7]
+        cover = quine_mccluskey(3, minterms)
+        assert sorted(cover.minterms()) == sorted(minterms)
+
+    def test_qm_constant_cases(self):
+        assert quine_mccluskey(3, []).is_empty()
+        assert quine_mccluskey(2, range(4)).is_tautology()
+
+    def test_qm_is_no_worse_than_naive(self):
+        minterms = [0, 1, 2, 3, 8, 9, 10, 11]
+        cover = quine_mccluskey(4, minterms)
+        assert cover.num_products() <= 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_qm_random_functions(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        minterms = sorted(rng.sample(range(32), rng.randint(1, 20)))
+        cover = quine_mccluskey(5, minterms)
+        assert sorted(cover.minterms()) == minterms

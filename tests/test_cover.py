@@ -1,0 +1,141 @@
+"""Unit tests for repro.boolean.cover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.exceptions import BooleanFunctionError
+
+
+class TestConstruction:
+    def test_from_strings_and_deduplication(self):
+        cover = Cover.from_strings(3, ["1-0", "1-0", "01-"])
+        assert cover.num_products() == 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BooleanFunctionError):
+            Cover(3, [Cube.from_string("10")])
+
+    def test_zero_and_one(self):
+        assert Cover.zero(3).is_empty()
+        assert Cover.one(3).has_full_dont_care()
+        assert Cover.one(3).is_tautology()
+
+    def test_from_minterms(self):
+        cover = Cover.from_minterms(3, [0, 7])
+        assert sorted(cover.minterms()) == [0, 7]
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(BooleanFunctionError):
+            Cover(-1)
+
+
+class TestStatistics:
+    def test_literal_count_and_support(self, small_cover):
+        assert small_cover.literal_count() == 6
+        assert small_cover.support() == frozenset({0, 1, 2})
+
+    def test_polarity_counts(self, small_cover):
+        negative, positive = small_cover.variable_polarity_counts(0)
+        assert (negative, positive) == (1, 1)
+
+    def test_unate_detection(self):
+        unate = Cover.from_strings(3, ["1--", "-1-"])
+        assert unate.is_unate()
+        binate = Cover.from_strings(3, ["1--", "0--"])
+        assert not binate.is_unate()
+        assert binate.most_binate_variable() == 0
+
+
+class TestSemantics:
+    def test_evaluate(self, small_cover):
+        # Cubes: x1 x2 | ~x2 x3? strings "11-", "-01", "0-0"
+        assert small_cover.evaluate([1, 1, 0]) is True
+        assert small_cover.evaluate([0, 0, 1]) is True
+        assert small_cover.evaluate([0, 1, 0]) is True  # matches 0-0
+        assert small_cover.evaluate([1, 0, 0]) is False
+
+    def test_truth_table_and_minterms_consistent(self, small_cover):
+        table = small_cover.truth_table()
+        minterms = small_cover.minterms()
+        for index, value in enumerate(table):
+            assert value == (index in minterms)
+
+    def test_count_minterms(self, small_cover):
+        assert small_cover.count_minterms() == len(small_cover.minterms())
+
+    def test_truth_table_refuses_huge_inputs(self):
+        with pytest.raises(BooleanFunctionError):
+            Cover.zero(30).truth_table()
+
+
+class TestCofactorsAndContainment:
+    def test_cofactor_semantics(self, small_cover):
+        positive = small_cover.cofactor(0, 1)
+        for assignment in ([1, 0], [0, 1], [1, 1], [0, 0]):
+            full = [1] + assignment
+            assert positive.evaluate([0] + assignment) == small_cover.evaluate(full)
+
+    def test_cofactor_cube(self):
+        cover = Cover.from_strings(3, ["11-", "0-1"])
+        restricted = cover.cofactor_cube(Cube.from_string("1--"))
+        assert restricted.covers_cube(Cube.from_string("-1-"))
+
+    def test_tautology_by_complement_pair(self):
+        cover = Cover.from_strings(2, ["1-", "0-"])
+        assert cover.is_tautology()
+        assert not Cover.from_strings(2, ["1-"]).is_tautology()
+
+    def test_covers_cube_and_cover(self):
+        cover = Cover.from_strings(3, ["1--", "01-"])
+        assert cover.covers_cube(Cube.from_string("11-"))
+        assert not cover.covers_cube(Cube.from_string("00-"))
+        assert cover.covers(Cover.from_strings(3, ["111", "010"]))
+
+    def test_equivalent(self):
+        a = Cover.from_strings(2, ["1-", "-1"])
+        b = Cover.from_strings(2, ["11", "10", "01"])
+        assert a.equivalent(b)
+        assert not a.equivalent(Cover.from_strings(2, ["1-"]))
+
+
+class TestManipulations:
+    def test_union_and_intersection_semantics(self):
+        a = Cover.from_strings(2, ["1-"])
+        b = Cover.from_strings(2, ["-1"])
+        union = a.union(b)
+        inter = a.intersection(b)
+        for assignment in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            assert union.evaluate(assignment) == (
+                a.evaluate(assignment) or b.evaluate(assignment)
+            )
+            assert inter.evaluate(assignment) == (
+                a.evaluate(assignment) and b.evaluate(assignment)
+            )
+
+    def test_union_width_mismatch(self):
+        with pytest.raises(BooleanFunctionError):
+            Cover.zero(2).union(Cover.zero(3))
+
+    def test_without_contained_cubes(self):
+        cover = Cover.from_strings(3, ["1--", "11-", "111"])
+        reduced = cover.without_contained_cubes()
+        assert reduced.num_products() == 1
+        assert reduced.cubes[0].to_string() == "1--"
+
+    def test_add_cube_preserves_original(self, small_cover):
+        extended = small_cover.add_cube(Cube.from_string("111"))
+        assert extended.num_products() >= small_cover.num_products()
+
+    def test_sorted_by_size_is_deterministic(self, small_cover):
+        assert small_cover.sorted_by_size().to_strings() == (
+            small_cover.sorted_by_size().to_strings()
+        )
+
+    def test_to_expression(self):
+        cover = Cover.from_strings(2, ["1-", "-0"])
+        text = cover.to_expression(["a", "b"])
+        assert "a" in text and "~b" in text
+        assert Cover.zero(2).to_expression() == "0"

@@ -1,0 +1,152 @@
+"""Unit tests for repro.boolean.cube."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cube import DONT_CARE, NEGATIVE, POSITIVE, Cube
+from repro.exceptions import BooleanFunctionError
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_string() == "1-0"
+        assert cube.values == (POSITIVE, DONT_CARE, NEGATIVE)
+
+    def test_from_string_accepts_digit_two_as_dont_care(self):
+        assert Cube.from_string("12").to_string() == "1-"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_string("1x0")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube([0, 3])
+
+    def test_from_minterm(self):
+        cube = Cube.from_minterm(5, 4)  # binary 0101, LSB = input 0
+        assert cube.to_string() == "1010"
+
+    def test_from_minterm_out_of_range(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_minterm(16, 4)
+
+    def test_from_literals(self):
+        cube = Cube.from_literals({0: True, 2: False}, 4)
+        assert cube.to_string() == "1-0-"
+
+    def test_from_literals_out_of_range(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_literals({5: True}, 3)
+
+    def test_full_dont_care(self):
+        cube = Cube.full_dont_care(3)
+        assert cube.is_full_dont_care()
+        assert cube.literal_count() == 0
+
+
+class TestQueries:
+    def test_literal_count_and_support(self):
+        cube = Cube.from_string("1-0-1")
+        assert cube.literal_count() == 3
+        assert cube.support() == frozenset({0, 2, 4})
+
+    def test_literals_returns_polarity(self):
+        cube = Cube.from_string("0-1")
+        assert cube.literals() == [(0, False), (2, True)]
+
+    def test_is_minterm(self):
+        assert Cube.from_string("101").is_minterm()
+        assert not Cube.from_string("1-1").is_minterm()
+
+    def test_num_minterms(self):
+        assert Cube.from_string("1--").num_minterms() == 4
+        assert Cube.from_string("111").num_minterms() == 1
+
+    def test_minterms_enumeration(self):
+        cube = Cube.from_string("1-0")
+        assert sorted(cube.minterms()) == [1, 3]
+
+    def test_equality_and_hash(self):
+        assert Cube.from_string("1-0") == Cube.from_string("1-0")
+        assert hash(Cube.from_string("1-0")) == hash(Cube.from_string("1-0"))
+        assert Cube.from_string("1-0") != Cube.from_string("100")
+
+
+class TestSemantics:
+    def test_evaluate_true_and_false(self):
+        cube = Cube.from_string("1-0")
+        assert cube.evaluate([1, 0, 0]) is True
+        assert cube.evaluate([1, 1, 1]) is False
+        assert cube.evaluate([0, 1, 0]) is False
+
+    def test_evaluate_wrong_width(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_string("1-0").evaluate([1, 0])
+
+    def test_contains(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_intersects_and_intersection(self):
+        a = Cube.from_string("1-0")
+        b = Cube.from_string("-10")
+        assert a.intersects(b)
+        assert a.intersection(b).to_string() == "110"
+        c = Cube.from_string("0--")
+        assert not a.intersects(c)
+        assert a.intersection(c) is None
+
+    def test_distance(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("01-")
+        assert a.distance(b) == 2
+        assert a.distance(Cube.from_string("11-")) == 1
+
+    def test_consensus(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("0-1")
+        consensus = a.consensus(b)
+        assert consensus is not None and consensus.to_string() == "--1"
+        # Distance-2 pairs have no consensus.
+        assert Cube.from_string("11-").consensus(Cube.from_string("00-")) is None
+
+    def test_merge(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        merged = a.merge(b)
+        assert merged.to_string() == "10-"
+        assert a.merge(Cube.from_string("010")) is None
+        # Merge with a cube differing by a don't care is rejected.
+        assert a.merge(Cube.from_string("10-")) is None
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_string("10").contains(Cube.from_string("100"))
+
+
+class TestTransformations:
+    def test_cofactor(self):
+        cube = Cube.from_string("1-0")
+        assert cube.cofactor(0, 1).to_string() == "--0"
+        assert cube.cofactor(0, 0) is None
+        assert cube.cofactor(1, 1).to_string() == "1-0"
+
+    def test_cofactor_invalid_value(self):
+        with pytest.raises(BooleanFunctionError):
+            Cube.from_string("1-0").cofactor(0, 2)
+
+    def test_restrict_and_expand(self):
+        cube = Cube.from_string("1-0")
+        assert cube.restrict(1, POSITIVE).to_string() == "110"
+        assert cube.expand_variable(0).to_string() == "--0"
+
+    def test_to_expression(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_expression() == "x1 & ~x3"
+        assert cube.to_expression(["a", "b", "c"]) == "a & ~c"
+        assert Cube.full_dont_care(2).to_expression() == "1"

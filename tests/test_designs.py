@@ -1,0 +1,153 @@
+"""Unit tests for the two-level and multi-level crossbar designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import BooleanFunction, Cover
+from repro.crossbar.layout import ColumnKind, RowKind
+from repro.crossbar.metrics import choose_dual, inclusion_ratio, two_level_area_of
+from repro.crossbar.multi_level import MultiLevelDesign
+from repro.crossbar.states import Phase
+from repro.crossbar.two_level import TwoLevelDesign, two_level_area_cost
+from repro.exceptions import CrossbarError
+from repro.synth import best_network
+
+
+class TestTwoLevelAreaFormula:
+    @pytest.mark.parametrize(
+        "inputs,outputs,products,expected",
+        [
+            (5, 3, 31, 544),     # rd53
+            (5, 8, 25, 858),     # squar5
+            (7, 9, 30, 1248),    # inc
+            (8, 7, 12, 570),     # misex1
+            (8, 4, 29, 792),     # sqrt8
+            (10, 4, 58, 1736),   # sao2
+            (7, 3, 127, 2600),   # rd73
+            (9, 5, 120, 3500),   # clip
+            (8, 4, 255, 6216),   # rd84
+            (10, 10, 284, 11760),  # ex1010
+            (14, 14, 175, 10584),  # table3
+            (8, 63, 74, 19454),  # exp5
+            (9, 19, 436, 25480),  # apex4
+            (14, 8, 575, 25652),  # alu4
+        ],
+    )
+    def test_reproduces_paper_table_areas(self, inputs, outputs, products, expected):
+        assert two_level_area_cost(inputs, outputs, products) == expected
+
+    def test_extra_rows_option(self):
+        assert two_level_area_cost(8, 1, 5, extra_rows=1) == 7 * 18
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(CrossbarError):
+            two_level_area_cost(-1, 1, 1)
+
+
+class TestTwoLevelDesign:
+    def test_paper_example_dimensions(self, paper_single_output):
+        design = TwoLevelDesign(paper_single_output)
+        assert design.layout.rows == 6
+        assert design.layout.columns == 18
+        assert design.area == two_level_area_of(paper_single_output)
+
+    def test_fig8_dimensions(self, paper_two_output):
+        design = TwoLevelDesign(paper_two_output)
+        assert design.layout.rows == 6
+        assert design.layout.columns == 10
+
+    def test_active_devices_structure(self, paper_two_output):
+        design = TwoLevelDesign(paper_two_output)
+        layout = design.layout
+        # Each product row: literals + one device per driven output.
+        for row, product in enumerate(paper_two_output.products):
+            expected = product.literal_count() + product.connection_count()
+            assert len(layout.active_in_row(row)) == expected
+        # Output rows carry the f / f̄ pair.
+        for output in range(paper_two_output.num_outputs):
+            row = paper_two_output.num_products + output
+            assert len(layout.active_in_row(row)) == 2
+
+    def test_area_report(self, paper_two_output):
+        report = TwoLevelDesign(paper_two_output).area_report()
+        assert report.area == 60
+        assert report.product_rows == 4
+        assert report.output_rows == 2
+        assert 0 < report.inclusion_ratio < 1
+
+    def test_empty_function_rejected(self):
+        constant = BooleanFunction(["a"], ["f"], [])
+        with pytest.raises(CrossbarError):
+            TwoLevelDesign(constant)
+
+    def test_inclusion_ratio_definition(self, paper_two_output):
+        design = TwoLevelDesign(paper_two_output)
+        assert design.inclusion_ratio == pytest.approx(
+            design.layout.active_count() / design.area
+        )
+        assert inclusion_ratio(10, 100) == pytest.approx(0.1)
+        assert inclusion_ratio(10, 0) == 0.0
+
+
+class TestMultiLevelDesign:
+    def test_fig5_dimensions(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        assert design.layout.rows == 3
+        assert design.layout.columns == 19
+        assert design.area == 57
+
+    def test_connection_column_structure(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        connection_columns = design.layout.columns_of_kind(ColumnKind.CONNECTION)
+        assert len(connection_columns) == 1
+        # The connection column is written by its gate row and read by the
+        # consumer row.
+        column = connection_columns[0]
+        assert len(design.layout.active_in_column(column)) == 2
+
+    def test_output_taps(self, paper_two_output):
+        design = MultiLevelDesign(best_network(paper_two_output))
+        assert len(design.output_taps) == 2
+        for tap in design.output_taps:
+            assert tap.driver_row is not None or tap.driver_literal is not None
+
+    def test_phase_sequence_length(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        sequence = design.phase_sequence()
+        gates = design.network.gate_count()
+        assert sequence.count(Phase.EVM) == gates
+        assert sequence.count(Phase.CR) == gates - 1
+        assert design.computation_cycles() == len(sequence)
+
+    def test_gate_rows_in_topological_order(self, paper_two_output):
+        design = MultiLevelDesign(best_network(paper_two_output))
+        gate_rows = design.layout.rows_of_kind(RowKind.GATE)
+        gate_ids = [design.layout.row_roles[row].index for row in gate_rows]
+        assert gate_ids == sorted(gate_ids)
+
+    def test_network_without_outputs_rejected(self):
+        from repro.synth.network import NandNetwork
+
+        with pytest.raises(CrossbarError):
+            MultiLevelDesign(NandNetwork(["a"]))
+
+
+class TestDualSelection:
+    def test_complement_cheaper_case(self):
+        # A function with many products whose complement is a single product:
+        # f = a + b + c  →  f̄ = ā·b̄·c̄ (1 product vs 3).
+        cover = Cover.from_strings(3, ["1--", "-1-", "--1"])
+        function = BooleanFunction.single_output(cover, name="wide_or")
+        selection = choose_dual(function)
+        assert selection.used_complement
+        assert selection.selected_area < selection.original_area
+
+    def test_original_kept_when_cheaper(self, paper_two_output):
+        selection = choose_dual(paper_two_output)
+        assert not selection.used_complement
+        assert selection.implementation is paper_two_output
+
+    def test_selected_area_consistency(self, paper_single_output):
+        selection = choose_dual(paper_single_output)
+        assert selection.selected_area == two_level_area_of(selection.implementation)

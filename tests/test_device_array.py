@@ -1,0 +1,155 @@
+"""Unit tests for the memristor device model and the crossbar array."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.device import (
+    DeviceMode,
+    DeviceParameters,
+    Memristor,
+    ResistiveState,
+)
+from repro.exceptions import CrossbarError
+
+
+class TestDeviceParameters:
+    def test_defaults_are_consistent(self):
+        parameters = DeviceParameters()
+        assert parameters.r_on < parameters.r_off
+        assert parameters.v_reset < 0 < parameters.v_set
+        assert parameters.v_hold < parameters.v_set
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"r_on": -1.0},
+            {"r_on": 1e7, "r_off": 1e6},
+            {"v_set": -1.0},
+            {"v_reset": 1.0},
+            {"v_hold": 5.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(CrossbarError):
+            DeviceParameters(**kwargs)
+
+
+class TestMemristorSwitching:
+    def test_initial_state_is_high_resistance(self):
+        device = Memristor()
+        assert device.state == ResistiveState.HIGH
+        assert device.logic_value == 1
+        assert device.resistance == device.parameters.r_off
+
+    def test_set_and_reset(self):
+        device = Memristor()
+        device.set()
+        assert device.logic_value == 0
+        assert device.resistance == device.parameters.r_on
+        device.reset()
+        assert device.logic_value == 1
+
+    def test_hold_voltage_does_not_disturb(self):
+        device = Memristor()
+        device.set()
+        device.apply_voltage(device.parameters.v_hold)
+        assert device.logic_value == 0
+        device.apply_voltage(-device.parameters.v_hold)
+        assert device.logic_value == 0
+
+    def test_write_logic_follows_snider_convention(self):
+        device = Memristor()
+        device.write_logic(0)
+        assert device.state == ResistiveState.LOW
+        device.write_logic(1)
+        assert device.state == ResistiveState.HIGH
+
+    def test_write_logic_rejects_non_bits(self):
+        with pytest.raises(CrossbarError):
+            Memristor().write_logic(3)
+
+    def test_disabled_device_never_switches(self):
+        device = Memristor(mode=DeviceMode.DISABLED)
+        device.set()
+        assert device.logic_value == 1
+
+    def test_stuck_open_always_high(self):
+        device = Memristor(mode=DeviceMode.STUCK_OPEN)
+        device.set()
+        assert device.logic_value == 1
+        assert not device.behaves_as_expected()
+
+    def test_stuck_closed_always_low(self):
+        device = Memristor(mode=DeviceMode.STUCK_CLOSED)
+        device.reset()
+        assert device.logic_value == 0
+
+    def test_defect_cannot_be_reprogrammed(self):
+        device = Memristor(mode=DeviceMode.STUCK_OPEN)
+        with pytest.raises(CrossbarError):
+            device.mode = DeviceMode.ACTIVE
+
+    def test_mode_change_coerces_state(self):
+        device = Memristor()
+        device.set()
+        device.mode = DeviceMode.DISABLED
+        assert device.state == ResistiveState.HIGH
+
+    def test_is_defective_property(self):
+        assert DeviceMode.STUCK_OPEN.is_defective
+        assert DeviceMode.STUCK_CLOSED.is_defective
+        assert not DeviceMode.ACTIVE.is_defective
+        assert not DeviceMode.DISABLED.is_defective
+
+
+class TestCrossbarArray:
+    def test_geometry_and_area(self):
+        array = CrossbarArray(3, 5)
+        assert (array.rows, array.columns, array.area) == (3, 5, 15)
+        assert len(list(array.positions())) == 15
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(0, 4)
+
+    def test_out_of_range_access(self):
+        array = CrossbarArray(2, 2)
+        with pytest.raises(CrossbarError):
+            array.device(2, 0)
+
+    def test_defect_injection_and_query(self):
+        array = CrossbarArray(3, 3)
+        array.inject_defect(1, 1, DeviceMode.STUCK_CLOSED)
+        assert array.defect_count() == 1
+        assert array.defect_positions() == [(1, 1, DeviceMode.STUCK_CLOSED)]
+        assert (1, 1) not in array.functional_positions()
+        with pytest.raises(CrossbarError):
+            array.inject_defect(0, 0, DeviceMode.ACTIVE)
+
+    def test_program_active_skips_defects(self):
+        array = CrossbarArray(2, 2)
+        array.inject_defect(0, 0, DeviceMode.STUCK_OPEN)
+        array.program_active([(0, 0), (1, 1)])
+        assert array.mode(0, 0) == DeviceMode.STUCK_OPEN
+        assert array.mode(1, 1) == DeviceMode.ACTIVE
+        assert array.mode(0, 1) == DeviceMode.DISABLED
+        assert array.count_mode(DeviceMode.ACTIVE) == 1
+
+    def test_initialize_all_resets_active_devices(self):
+        array = CrossbarArray(2, 2)
+        array.program_active([(0, 0)])
+        array.write_logic(0, 0, 0)
+        assert array.read_logic(0, 0) == 0
+        array.initialize_all()
+        assert array.read_logic(0, 0) == 1
+
+    def test_logic_and_mode_snapshots(self):
+        array = CrossbarArray(2, 2)
+        array.inject_defect(0, 1, DeviceMode.STUCK_CLOSED)
+        logic = array.logic_snapshot()
+        modes = array.mode_snapshot()
+        assert logic[0][1] == 0
+        assert modes[0][1] == DeviceMode.STUCK_CLOSED
+        assert array.row_logic_values(0, [0, 1]) == [1, 0]

@@ -1,0 +1,183 @@
+"""Tests for the experiment harnesses (scaled-down versions of the paper's)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import BooleanFunction, parse_sop
+from repro.circuits import get_benchmark
+from repro.exceptions import ExperimentError
+from repro.experiments.defect_sweep import run_defect_sweep
+from repro.experiments.figure6 import (
+    Figure6Config,
+    evaluate_sample,
+    run_figure6,
+)
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.experiments.redundancy import run_redundancy_analysis
+from repro.experiments.report import (
+    ascii_scatter,
+    format_percent,
+    format_runtime,
+    format_table,
+)
+from repro.experiments.table1 import multi_level_cost_of, run_table1
+from repro.experiments.table2 import run_table2, run_table2_row
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xy", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_percent_and_runtime(self):
+        assert format_percent(0.654) == "65%"
+        assert format_runtime(0.00123) == "0.001"
+
+    def test_ascii_scatter_contains_series(self):
+        text = ascii_scatter({"two": [1, 2, 3], "multi": [3, 2, 1]}, title="panel")
+        assert "panel" in text
+        assert "two" in text and "multi" in text
+
+
+class TestMonteCarlo:
+    def test_basic_run_and_consistency(self):
+        function = get_benchmark("misex1")
+        result = run_mapping_monte_carlo(
+            function, defect_rate=0.1, sample_size=10, seed=3
+        )
+        hybrid = result.outcome("hybrid")
+        exact = result.outcome("exact")
+        assert hybrid.samples == exact.samples == 10
+        assert 0.0 <= hybrid.success_rate <= exact.success_rate <= 1.0
+        assert hybrid.invalid_mappings == 0
+        assert exact.invalid_mappings == 0
+        assert hybrid.mean_runtime > 0
+
+    def test_zero_defects_always_succeed(self):
+        function = get_benchmark("misex1")
+        result = run_mapping_monte_carlo(function, defect_rate=0.0, sample_size=5)
+        assert result.outcome("hybrid").success_rate == 1.0
+        assert result.outcome("exact").success_rate == 1.0
+
+    def test_invalid_arguments(self):
+        function = get_benchmark("misex1")
+        with pytest.raises(ExperimentError):
+            run_mapping_monte_carlo(function, sample_size=0)
+        with pytest.raises(ExperimentError):
+            run_mapping_monte_carlo(function, sample_size=1, algorithms=("alien",))
+
+    def test_custom_mapper_instances(self):
+        from repro.mapping import HybridMapper
+
+        function = get_benchmark("misex1")
+        result = run_mapping_monte_carlo(
+            function,
+            sample_size=3,
+            algorithms={"mine": HybridMapper(backtracking=False)},
+        )
+        assert "mine" in result.outcomes
+
+
+class TestFigure6:
+    def test_evaluate_sample_on_paper_example(self, paper_single_output):
+        sample = evaluate_sample(paper_single_output)
+        assert sample.two_level_cost == 108
+        assert sample.multi_level_cost == 57
+        assert sample.multi_level_wins
+
+    def test_evaluate_sample_rejects_multi_output(self, paper_two_output):
+        with pytest.raises(ExperimentError):
+            evaluate_sample(paper_two_output)
+
+    def test_small_run_structure(self):
+        config = Figure6Config(input_sizes=(8,), sample_size=12, seed=1)
+        result = run_figure6(config)
+        panel = result.panels[8]
+        assert len(panel.samples) == 12
+        assert 0.0 <= panel.success_rate <= 1.0
+        assert len(panel.render()) > 0
+        lower, upper = panel.success_rate_by_product_split()
+        assert 0.0 <= lower <= 1.0 and 0.0 <= upper <= 1.0
+        assert result.success_rates() == {8: panel.success_rate}
+
+    def test_spec_scales_with_input_size(self):
+        config = Figure6Config()
+        spec8 = config.spec_for(8)
+        spec15 = config.spec_for(15)
+        assert spec15.resolved_max_products() > spec8.resolved_max_products()
+        assert spec15.resolved_max_literals() > spec8.resolved_max_literals()
+
+
+class TestTable1:
+    def test_multi_level_cost_of_paper_example(self, paper_single_output):
+        assert multi_level_cost_of(paper_single_output) == 57
+
+    def test_small_table1_run(self):
+        result = run_table1(["rd53", "con1"])
+        assert len(result.rows) == 2
+        rd53 = result.row("rd53")
+        assert rd53.two_level_original == 544
+        assert rd53.multi_level_original > rd53.two_level_original
+        assert rd53.two_level_complement == 560
+        assert "rd53" in result.render()
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+
+class TestTable2:
+    def test_single_row_run(self):
+        function = get_benchmark("misex1")
+        row = run_table2_row(function, sample_size=10, seed=2)
+        assert row.area == 570
+        assert 0.0 <= row.hba_success <= 1.0
+        assert row.ea_success >= row.hba_success - 1e-9
+        assert row.speedup > 0
+        assert row.paper_hba_success == pytest.approx(1.0)
+
+    def test_small_table2_run_renders(self):
+        result = run_table2(["rd53", "misex1"], sample_size=5, seed=1)
+        assert len(result.rows) == 2
+        text = result.render()
+        assert "rd53" in text and "misex1" in text
+        assert result.row("rd53").inputs == 5
+
+
+class TestExtensions:
+    def test_defect_sweep_monotone_trend(self):
+        result = run_defect_sweep(
+            "misex1", rates=(0.0, 0.3), sample_size=8, seed=1
+        )
+        assert len(result.points) == 2
+        clean, dirty = result.points
+        assert clean.success_rates["exact"] >= dirty.success_rates["exact"]
+        assert clean.naive_survival > dirty.naive_survival
+        assert "misex1" in result.render()
+
+    def test_redundancy_improves_yield(self):
+        result = run_redundancy_analysis(
+            "rd53",
+            defect_rate=0.10,
+            stuck_open_fraction=0.95,
+            sample_size=8,
+            redundancy_levels=((0, 0), (6, 6)),
+            seed=2,
+        )
+        assert len(result.points) == 2
+        base, redundant = result.points
+        assert redundant.area_overhead > base.area_overhead
+        assert redundant.yields["hybrid"] >= base.yields["hybrid"]
+        assert "rd53" in result.render()
+        best = result.best_point_for_yield("hybrid", 0.0)
+        assert best is not None
+
+    def test_redundancy_invalid_fraction(self):
+        with pytest.raises(ExperimentError):
+            run_redundancy_analysis("rd53", stuck_open_fraction=1.5, sample_size=1)

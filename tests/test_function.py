@@ -1,0 +1,140 @@
+"""Unit tests for repro.boolean.function (multi-output functions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction, Product
+from repro.exceptions import BooleanFunctionError
+
+
+class TestProduct:
+    def test_requires_outputs(self):
+        with pytest.raises(BooleanFunctionError):
+            Product(Cube.from_string("1-"), frozenset())
+
+    def test_counts(self):
+        product = Product(Cube.from_string("1-0"), frozenset({0, 2}))
+        assert product.literal_count() == 2
+        assert product.connection_count() == 2
+
+
+class TestConstruction:
+    def test_duplicate_cubes_are_merged(self):
+        products = [
+            Product(Cube.from_string("1-"), frozenset({0})),
+            Product(Cube.from_string("1-"), frozenset({1})),
+        ]
+        function = BooleanFunction(["a", "b"], ["f0", "f1"], products)
+        assert function.num_products == 1
+        assert function.products[0].outputs == frozenset({0, 1})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(BooleanFunctionError):
+            BooleanFunction(["a", "a"], ["f"], [])
+        with pytest.raises(BooleanFunctionError):
+            BooleanFunction(["a"], ["f", "f"], [])
+
+    def test_output_index_out_of_range(self):
+        with pytest.raises(BooleanFunctionError):
+            BooleanFunction(
+                ["a"], ["f"], [Product(Cube.from_string("1"), frozenset({3}))]
+            )
+
+    def test_cube_width_mismatch(self):
+        with pytest.raises(BooleanFunctionError):
+            BooleanFunction(
+                ["a", "b"], ["f"], [Product(Cube.from_string("1"), frozenset({0}))]
+            )
+
+    def test_from_covers_mapping_and_sequence(self):
+        cover = Cover.from_strings(2, ["1-"])
+        from_mapping = BooleanFunction.from_covers({"g": cover})
+        from_sequence = BooleanFunction.from_covers([cover])
+        assert from_mapping.output_names == ("g",)
+        assert from_sequence.output_names == ("f0",)
+
+    def test_from_covers_inconsistent_widths(self):
+        with pytest.raises(BooleanFunctionError):
+            BooleanFunction.from_covers(
+                [Cover.from_strings(2, ["1-"]), Cover.from_strings(3, ["1--"])]
+            )
+
+    def test_from_truth_tables(self):
+        tables = [[0, 1, 1, 0]]  # XOR of two inputs
+        function = BooleanFunction.from_truth_tables(2, tables, name="xor")
+        assert function.evaluate([0, 1]) == [True]
+        assert function.evaluate([1, 1]) == [False]
+
+
+class TestAccessors:
+    def test_statistics(self, paper_two_output):
+        assert paper_two_output.num_inputs == 3
+        assert paper_two_output.num_outputs == 2
+        assert paper_two_output.num_products == 4
+        assert paper_two_output.literal_count() == 8
+        assert paper_two_output.connection_count() == 4
+
+    def test_cover_for_output_by_name_and_index(self, paper_two_output):
+        by_index = paper_two_output.cover_for_output(0)
+        by_name = paper_two_output.cover_for_output("O1")
+        assert by_index.equivalent(by_name)
+
+    def test_unknown_output_rejected(self, paper_two_output):
+        with pytest.raises(BooleanFunctionError):
+            paper_two_output.cover_for_output("nope")
+        with pytest.raises(BooleanFunctionError):
+            paper_two_output.cover_for_output(9)
+
+    def test_with_name_and_renamed(self, paper_two_output):
+        renamed = paper_two_output.with_name("other")
+        assert renamed.name == "other"
+        relabeled = paper_two_output.renamed(output_names=["a", "b"])
+        assert relabeled.output_names == ("a", "b")
+
+
+class TestSemantics:
+    def test_evaluate_matches_expressions(self, paper_two_output):
+        # O1 = x1x2 + x2~x3 ; O2 = ~x1x3 + x2x3
+        assert paper_two_output.evaluate([1, 1, 0]) == [True, False]
+        assert paper_two_output.evaluate([0, 0, 1]) == [False, True]
+        assert paper_two_output.evaluate([0, 1, 1]) == [False, True]
+        assert paper_two_output.evaluate([0, 0, 0]) == [False, False]
+
+    def test_evaluate_named(self, paper_two_output):
+        result = paper_two_output.evaluate_named({"x1": 1, "x2": 1, "x3": 0})
+        assert result == {"O1": True, "O2": False}
+
+    def test_evaluate_wrong_width(self, paper_two_output):
+        with pytest.raises(BooleanFunctionError):
+            paper_two_output.evaluate([1, 0])
+
+    def test_equivalence(self, paper_two_output):
+        assert paper_two_output.equivalent(paper_two_output.minimized())
+        other = paper_two_output.restricted_to_outputs(["O1"])
+        assert not paper_two_output.equivalent(other)
+
+
+class TestTransformations:
+    def test_complement_is_pointwise_negation(self, paper_two_output):
+        complement = paper_two_output.complement()
+        for assignment in paper_two_output.iter_assignments():
+            original = paper_two_output.evaluate(assignment)
+            negated = complement.evaluate(assignment)
+            assert [not v for v in original] == negated
+
+    def test_try_complement_returns_none_on_overflow(self, paper_single_output):
+        assert paper_single_output.try_complement(max_cubes=50_000) is not None
+
+    def test_minimized_preserves_semantics(self, paper_single_output):
+        assert paper_single_output.minimized().equivalent(paper_single_output)
+
+    def test_restricted_to_outputs(self, paper_two_output):
+        only_o2 = paper_two_output.restricted_to_outputs(["O2"])
+        assert only_o2.num_outputs == 1
+        for assignment in paper_two_output.iter_assignments():
+            assert only_o2.evaluate(assignment) == [
+                paper_two_output.evaluate(assignment)[1]
+            ]

@@ -1,0 +1,90 @@
+"""End-to-end integration tests across all subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import function_from_expressions
+from repro.circuits import exact_benchmark, get_benchmark
+from repro.crossbar import (
+    CrossbarController,
+    MultiLevelDesign,
+    TwoLevelDesign,
+    choose_dual,
+    verify_layout,
+)
+from repro.defects import inject_uniform
+from repro.mapping import (
+    CrossbarMatrix,
+    ExactMapper,
+    FunctionMatrix,
+    HybridMapper,
+    validate_both,
+)
+from repro.synth import best_network, verify_network
+
+
+class TestFunctionalPipeline:
+    """Function → synthesis → layout → simulation, on real circuits."""
+
+    @pytest.mark.parametrize("name", ["rd53", "sqrt8", "squar5"])
+    def test_exact_benchmarks_two_level(self, name):
+        function = exact_benchmark(name)
+        design = TwoLevelDesign(function)
+        assert verify_layout(design.layout, function)
+
+    @pytest.mark.parametrize("name", ["rd53", "squar5"])
+    def test_exact_benchmarks_multi_level(self, name):
+        function = exact_benchmark(name)
+        network = best_network(function)
+        assert verify_network(function, network)
+        design = MultiLevelDesign(network)
+        assert verify_layout(design.layout, function, multi_level=True)
+
+    def test_controller_runs_benchmark(self):
+        function = exact_benchmark("rd53")
+        controller = CrossbarController(TwoLevelDesign(function).layout)
+        for value in (0, 7, 21, 31):
+            bits = [(value >> i) & 1 for i in range(5)]
+            expected = [1 if v else 0 for v in function.evaluate(bits)]
+            assert controller.compute(bits) == expected
+
+
+class TestDefectTolerantPipeline:
+    """Function → FM/CM → mapping → permuted layout → defective array sim."""
+
+    def test_full_loop_on_synthetic_benchmark(self):
+        function = get_benchmark("misex1")
+        fm = FunctionMatrix(function)
+        found_permuted_case = False
+        for seed in range(8):
+            defect_map = inject_uniform(fm.num_rows, fm.num_columns, 0.1, seed=seed)
+            result = HybridMapper().map(fm, CrossbarMatrix(defect_map))
+            if not result.success:
+                continue
+            assert validate_both(function, defect_map, result, samples=64)
+            if any(logical != physical
+                   for logical, physical in result.row_assignment.items()):
+                found_permuted_case = True
+        assert found_permuted_case, "expected at least one non-identity mapping"
+
+    def test_dual_selection_end_to_end(self):
+        function = function_from_expressions(
+            {"f": "x1 + x2 + x3 + x4"}, name="wide_or4"
+        )
+        selection = choose_dual(function)
+        assert selection.used_complement
+        implementation = selection.implementation
+        fm = FunctionMatrix(implementation)
+        defect_map = inject_uniform(fm.num_rows, fm.num_columns, 0.05, seed=3)
+        result = ExactMapper().map(fm, CrossbarMatrix(defect_map))
+        if result.success:
+            assert validate_both(implementation, defect_map, result, samples=32)
+
+    def test_top_level_package_exports(self):
+        import repro
+
+        assert hasattr(repro, "HybridMapper")
+        assert hasattr(repro, "run_table2")
+        assert repro.__version__
+        assert callable(repro.get_benchmark)

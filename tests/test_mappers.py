@@ -1,0 +1,199 @@
+"""Unit and integration tests for the HBA, EA and greedy mappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import BooleanFunction, Cover, random_multi_output_function
+from repro.defects.defect_map import DefectMap
+from repro.defects.injection import inject_uniform
+from repro.defects.types import Defect, DefectType
+from repro.mapping.crossbar_matrix import CrossbarMatrix
+from repro.mapping.exact import ExactMapper
+from repro.mapping.function_matrix import FunctionMatrix
+from repro.mapping.heuristic import GreedyMatcher, HeuristicMatcher
+from repro.mapping.hybrid import GreedyMapper, HybridMapper, map_with_dual_selection
+from repro.mapping.result import MappingResult
+from repro.mapping.validate import (
+    validate_assignment,
+    validate_both,
+    validate_functionally,
+)
+
+
+class TestHeuristicMatcher:
+    def test_perfect_crossbar_matches_in_order(self, paper_two_output):
+        fm = FunctionMatrix(paper_two_output)
+        matcher = HeuristicMatcher(CrossbarMatrix.perfect(6, 10))
+        outcome = matcher.match_minterms(fm.minterm_rows())
+        assert outcome.success
+        assert outcome.assignment == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert outcome.statistics.backtracks == 0
+
+    def test_backtracking_recovers_ordering_conflict(self):
+        # Product 0 fits on both crossbar rows and is greedily placed on row
+        # 0; product 1 only fits on row 0, so the matcher must relocate
+        # product 0 to row 1 via backtracking.
+        import numpy as np
+
+        fm_rows = np.array([[0, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        defect_map = DefectMap(2, 3, [Defect(1, 0, DefectType.STUCK_OPEN)])
+        # CM: row0 = [1,1,1], row1 = [0,1,1]
+        matcher = HeuristicMatcher(CrossbarMatrix(defect_map))
+        outcome = matcher.match_minterms(fm_rows)
+        assert outcome.success
+        assert outcome.assignment == {0: 1, 1: 0}
+        assert outcome.statistics.backtracks >= 1
+
+    def test_greedy_fails_where_backtracking_succeeds(self):
+        import numpy as np
+
+        fm_rows = np.array([[0, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        defect_map = DefectMap(2, 3, [Defect(1, 0, DefectType.STUCK_OPEN)])
+        outcome = GreedyMatcher(CrossbarMatrix(defect_map)).match_minterms(fm_rows)
+        assert not outcome.success
+        assert outcome.failed_row == 1
+
+    def test_reports_unmatchable_row(self):
+        import numpy as np
+
+        fm_rows = np.array([[1, 1, 1]], dtype=np.uint8)
+        defect_map = DefectMap(1, 3, [Defect(0, 0, DefectType.STUCK_OPEN)])
+        outcome = HeuristicMatcher(CrossbarMatrix(defect_map)).match_minterms(fm_rows)
+        assert not outcome.success
+        assert outcome.failed_row == 0
+
+
+class TestMappersOnPaperExample:
+    def test_perfect_crossbar_always_maps(self, paper_two_output):
+        fm = FunctionMatrix(paper_two_output)
+        cm = CrossbarMatrix.perfect(6, 10)
+        for mapper in (HybridMapper(), ExactMapper(), GreedyMapper()):
+            result = mapper.map(fm, cm)
+            assert result.success
+            assert validate_assignment(fm, cm, result)
+
+    def test_fig7_style_defect_forces_permutation(self, paper_two_output):
+        # A stuck-open defect under a literal of the naive placement must be
+        # avoided by reordering rows (the scenario of Fig. 7(a) vs (b)).
+        fm = FunctionMatrix(paper_two_output)
+        naive_row0_columns = [
+            column for column in range(fm.num_columns) if fm.row(0)[column]
+        ]
+        defect_map = DefectMap(
+            6, 10, [Defect(0, naive_row0_columns[0], DefectType.STUCK_OPEN)]
+        )
+        cm = CrossbarMatrix(defect_map)
+        for mapper in (HybridMapper(), ExactMapper()):
+            result = mapper.map(fm, cm)
+            assert result.success
+            assert result.row_assignment[0] != 0
+            assert validate_both(paper_two_output, defect_map, result)
+
+    def test_too_many_defects_fail_gracefully(self, paper_two_output):
+        fm = FunctionMatrix(paper_two_output)
+        # Kill the first input column entirely: every product using x1 fails.
+        defects = [Defect(row, 0, DefectType.STUCK_OPEN) for row in range(6)]
+        defects += [Defect(row, 1, DefectType.STUCK_OPEN) for row in range(6)]
+        cm = CrossbarMatrix(DefectMap(6, 10, defects))
+        for mapper in (HybridMapper(), ExactMapper()):
+            result = mapper.map(fm, cm)
+            assert not result.success
+            assert result.failure_reason
+
+    def test_stuck_closed_column_is_fatal_without_redundancy(self, paper_two_output):
+        fm = FunctionMatrix(paper_two_output)
+        cm = CrossbarMatrix(
+            DefectMap(6, 10, [Defect(2, 4, DefectType.STUCK_CLOSED)])
+        )
+        assert not HybridMapper().map(fm, cm).success
+        assert not ExactMapper().map(fm, cm).success
+
+    def test_accepts_raw_function_and_defect_map(self, paper_two_output):
+        defect_map = DefectMap(6, 10)
+        result = HybridMapper().map(paper_two_output, defect_map)
+        assert result.success
+
+    def test_invalid_input_types_rejected(self):
+        from repro.exceptions import MappingError
+
+        with pytest.raises(MappingError):
+            HybridMapper().map("not a function", DefectMap(2, 2))
+        with pytest.raises(MappingError):
+            ExactMapper().map(
+                FunctionMatrix(
+                    BooleanFunction.from_covers([Cover.from_strings(1, ["1"])])
+                ),
+                "not a crossbar",
+            )
+
+
+class TestMonteCarloConsistency:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_dominates_hybrid_and_all_valid(self, seed):
+        function = random_multi_output_function(6, 3, 12, seed=seed + 50)
+        fm = FunctionMatrix(function)
+        for sample in range(15):
+            defect_map = inject_uniform(
+                fm.num_rows, fm.num_columns, 0.12, seed=seed * 100 + sample
+            )
+            cm = CrossbarMatrix(defect_map)
+            hybrid = HybridMapper().map(fm, cm)
+            exact = ExactMapper().map(fm, cm)
+            greedy = GreedyMapper().map(fm, cm)
+            if hybrid.success:
+                assert validate_both(function, defect_map, hybrid)
+            if exact.success:
+                assert validate_both(function, defect_map, exact)
+            # EA is exact: whenever any algorithm finds a mapping, EA must too.
+            assert exact.success or not hybrid.success
+            assert exact.success or not greedy.success
+
+    def test_runtime_recorded(self, paper_two_output):
+        result = HybridMapper().map(paper_two_output, DefectMap(6, 10))
+        assert result.runtime_seconds > 0
+
+
+class TestDualSelection:
+    def test_map_with_dual_selection_uses_complement_when_cheaper(self):
+        cover = Cover.from_strings(3, ["1--", "-1-", "--1"])
+        function = BooleanFunction.single_output(cover, name="wide_or")
+        result, implementation = map_with_dual_selection(
+            function, lambda rows, columns: DefectMap(rows, columns)
+        )
+        assert result.success
+        assert result.used_complement
+        assert implementation.num_products < function.num_products
+
+    def test_map_with_dual_selection_requires_defect_map(self, paper_two_output):
+        from repro.exceptions import MappingError
+
+        with pytest.raises(MappingError):
+            map_with_dual_selection(paper_two_output, lambda r, c: "nope")
+
+
+class TestMappingResult:
+    def test_vector_and_validation_helpers(self):
+        result = MappingResult(
+            success=True, algorithm="hybrid", row_assignment={0: 2, 1: 0, 2: 1}
+        )
+        assert result.assignment_vector(3) == [2, 0, 1]
+        assert result.validate_injective()
+        assert bool(result)
+        assert "hybrid" in result.summary()
+
+    def test_incomplete_vector_rejected(self):
+        from repro.exceptions import MappingError
+
+        result = MappingResult(success=True, algorithm="hybrid", row_assignment={0: 1})
+        with pytest.raises(MappingError):
+            result.assignment_vector(2)
+        failed = MappingResult(success=False, algorithm="hybrid")
+        with pytest.raises(MappingError):
+            failed.assignment_vector(1)
+
+    def test_failed_mapping_not_validated(self, paper_two_output):
+        failed = MappingResult(success=False, algorithm="exact")
+        assert not validate_functionally(
+            paper_two_output, DefectMap(6, 10), failed
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for the crossbar simulator and the phase controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean import BooleanFunction, parse_sop
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.controller import CrossbarController
+from repro.crossbar.device import DeviceMode
+from repro.crossbar.layout import ColumnKind
+from repro.crossbar.multi_level import MultiLevelDesign
+from repro.crossbar.simulator import (
+    evaluate_multi_level,
+    evaluate_two_level,
+    verify_layout,
+)
+from repro.crossbar.states import Phase
+from repro.crossbar.two_level import TwoLevelDesign
+from repro.exceptions import CrossbarError
+from repro.synth import best_network
+
+
+class TestTwoLevelSimulation:
+    def test_matches_reference_function(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        assert verify_layout(layout, paper_two_output)
+
+    def test_complemented_outputs_are_negations(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        result = evaluate_two_level(layout, [1, 1, 0])
+        assert result.complemented_outputs == [1 - v for v in result.outputs]
+
+    def test_row_values_are_product_complements(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        assignment = [1, 1, 0]
+        result = evaluate_two_level(layout, assignment)
+        for row, product in enumerate(paper_two_output.products):
+            expected = 0 if product.cube.evaluate(assignment) else 1
+            assert result.row_values[row] == expected
+
+    def test_wrong_assignment_width(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        with pytest.raises(CrossbarError):
+            evaluate_two_level(layout, [1, 0])
+
+    def test_array_smaller_than_layout_rejected(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        with pytest.raises(CrossbarError):
+            evaluate_two_level(layout, [1, 1, 0], array=CrossbarArray(2, 2))
+
+    def test_stuck_open_on_required_literal_breaks_function(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        array = CrossbarArray(layout.rows, layout.columns)
+        # First active input-latch device of product row 0.
+        input_columns = set(layout.columns_of_kind(ColumnKind.INPUT))
+        column = next(c for c in layout.active_in_row(0) if c in input_columns)
+        array.inject_defect(0, column, DeviceMode.STUCK_OPEN)
+        assert not verify_layout(layout, paper_two_output, array=array)
+
+    def test_stuck_open_on_unused_crosspoint_is_harmless(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        array = CrossbarArray(layout.rows, layout.columns)
+        unused = next(
+            (r, c)
+            for r in range(layout.rows)
+            for c in range(layout.columns)
+            if not layout.is_active(r, c)
+        )
+        array.inject_defect(unused[0], unused[1], DeviceMode.STUCK_OPEN)
+        assert verify_layout(layout, paper_two_output, array=array)
+
+    def test_stuck_closed_poisons_row_and_column(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        array = CrossbarArray(layout.rows, layout.columns)
+        array.inject_defect(0, 0, DeviceMode.STUCK_CLOSED)
+        result = evaluate_two_level(layout, [1, 1, 0], array=array)
+        assert 0 in result.poisoned_rows
+        assert 0 in result.poisoned_columns
+        assert not verify_layout(layout, paper_two_output, array=array)
+
+
+class TestMultiLevelSimulation:
+    def test_matches_reference_function(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        assert verify_layout(design.layout, paper_single_output, multi_level=True)
+
+    def test_connection_values_recorded(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        result = evaluate_multi_level(design.layout, [0, 0, 0, 0, 1, 1, 1, 1])
+        assert result.connection_values  # at least the internal gate copied
+        assert result.outputs == [1]
+
+    def test_multi_output_multi_level(self, paper_two_output):
+        design = MultiLevelDesign(best_network(paper_two_output))
+        assert verify_layout(design.layout, paper_two_output, multi_level=True)
+
+    def test_stuck_closed_breaks_multi_level(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        array = CrossbarArray(design.layout.rows, design.layout.columns)
+        array.inject_defect(0, 0, DeviceMode.STUCK_CLOSED)
+        assert not verify_layout(
+            design.layout, paper_single_output, multi_level=True, array=array
+        )
+
+
+class TestController:
+    def test_two_level_phase_trace(self, paper_two_output):
+        controller = CrossbarController(TwoLevelDesign(paper_two_output).layout)
+        result, traces = controller.run([1, 1, 0])
+        assert result.outputs == [1, 0]
+        phases = [trace.phase for trace in traces]
+        assert phases == [
+            Phase.INA, Phase.RI, Phase.CFM, Phase.EVM, Phase.EVR, Phase.INR, Phase.SO,
+        ]
+        assert traces[-1].outputs == [1, 0]
+        assert traces[1].input_latch["x1"] == 1
+        assert traces[1].input_latch["~x1"] == 0
+
+    def test_multi_level_phase_trace(self, paper_single_output):
+        design = MultiLevelDesign(best_network(paper_single_output))
+        controller = CrossbarController(design.layout, multi_level=True)
+        result, traces = controller.run([1, 0, 0, 0, 0, 0, 0, 0])
+        assert result.outputs == [1]
+        phases = [trace.phase for trace in traces]
+        assert phases.count(Phase.EVM) == design.network.gate_count()
+        assert phases.count(Phase.CR) == design.network.gate_count() - 1
+
+    def test_compute_shorthand(self, paper_two_output):
+        controller = CrossbarController(TwoLevelDesign(paper_two_output).layout)
+        assert controller.compute([0, 0, 1]) == [0, 1]
+
+    def test_programming_reports_defective_crosspoints(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        array = CrossbarArray(layout.rows, layout.columns)
+        active = sorted(layout.active_crosspoints)[0]
+        array.inject_defect(active[0], active[1], DeviceMode.STUCK_OPEN)
+        controller = CrossbarController(layout, array=array)
+        programmed = controller.program()
+        assert programmed == layout.active_count() - 1
+        assert controller.unprogrammable_crosspoints() == [active]
+
+    def test_array_too_small_rejected(self, paper_two_output):
+        layout = TwoLevelDesign(paper_two_output).layout
+        with pytest.raises(CrossbarError):
+            CrossbarController(layout, array=CrossbarArray(2, 2))
+
+    def test_state_machine_history_is_validated(self, paper_two_output):
+        controller = CrossbarController(TwoLevelDesign(paper_two_output).layout)
+        controller.run([0, 0, 0])
+        controller.run([1, 1, 1])
+        assert controller.state_machine.history[0] == Phase.INA

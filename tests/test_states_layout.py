@@ -1,0 +1,156 @@
+"""Unit tests for the phase state machines and the crossbar layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar.layout import (
+    ColumnKind,
+    ColumnRole,
+    CrossbarLayout,
+    RowKind,
+    RowRole,
+)
+from repro.crossbar.states import (
+    Phase,
+    PhaseStateMachine,
+    TWO_LEVEL_SEQUENCE,
+    multi_level_sequence,
+)
+from repro.exceptions import CrossbarError, PhaseOrderError
+
+
+class TestPhaseStateMachine:
+    def test_two_level_sequence_is_legal(self):
+        machine = PhaseStateMachine()
+        machine.run_sequence(TWO_LEVEL_SEQUENCE)
+        assert machine.history == TWO_LEVEL_SEQUENCE
+        assert machine.current == Phase.SO
+
+    def test_must_start_with_ina(self):
+        machine = PhaseStateMachine()
+        assert machine.legal_next_phases() == (Phase.INA,)
+        with pytest.raises(PhaseOrderError):
+            machine.advance(Phase.EVM)
+
+    def test_illegal_transition_rejected(self):
+        machine = PhaseStateMachine()
+        machine.advance(Phase.INA)
+        with pytest.raises(PhaseOrderError):
+            machine.advance(Phase.EVM)
+
+    def test_two_level_machine_has_no_cr(self):
+        machine = PhaseStateMachine()
+        machine.run_sequence((Phase.INA, Phase.RI, Phase.CFM, Phase.EVM))
+        with pytest.raises(PhaseOrderError):
+            machine.advance(Phase.CR)
+
+    def test_multi_level_sequence_is_legal(self):
+        for gates in (1, 2, 5):
+            machine = PhaseStateMachine(multi_level=True)
+            machine.run_sequence(multi_level_sequence(gates))
+            assert machine.current == Phase.SO
+
+    def test_multi_level_sequence_structure(self):
+        sequence = multi_level_sequence(3)
+        assert sequence.count(Phase.EVM) == 3
+        assert sequence.count(Phase.CR) == 2
+        assert sequence[-2:] == (Phase.INR, Phase.SO)
+
+    def test_multi_level_sequence_needs_gates(self):
+        with pytest.raises(PhaseOrderError):
+            multi_level_sequence(0)
+
+    def test_reset(self):
+        machine = PhaseStateMachine()
+        machine.advance(Phase.INA)
+        machine.reset()
+        assert machine.current is None
+        assert machine.history == ()
+
+    def test_so_wraps_to_ina(self):
+        machine = PhaseStateMachine()
+        machine.run_sequence(TWO_LEVEL_SEQUENCE)
+        machine.advance(Phase.INA)
+        assert machine.current == Phase.INA
+
+
+def small_layout() -> CrossbarLayout:
+    rows = [RowRole(RowKind.PRODUCT, 0), RowRole(RowKind.PRODUCT, 1),
+            RowRole(RowKind.OUTPUT, 0)]
+    columns = [
+        ColumnRole(ColumnKind.INPUT, 0, True),
+        ColumnRole(ColumnKind.INPUT, 0, False),
+        ColumnRole(ColumnKind.OUTPUT, 0, True),
+        ColumnRole(ColumnKind.OUTPUT, 0, False),
+    ]
+    active = [(0, 0), (0, 2), (1, 1), (1, 2), (2, 2), (2, 3)]
+    return CrossbarLayout(rows, columns, active, name="tiny")
+
+
+class TestLayout:
+    def test_geometry_and_metrics(self):
+        layout = small_layout()
+        assert (layout.rows, layout.columns, layout.area) == (3, 4, 12)
+        assert layout.active_count() == 6
+        assert layout.inclusion_ratio == pytest.approx(0.5)
+
+    def test_active_queries(self):
+        layout = small_layout()
+        assert layout.is_active(0, 0)
+        assert not layout.is_active(0, 1)
+        assert layout.active_in_row(1) == [1, 2]
+        assert layout.active_in_column(2) == [0, 1, 2]
+
+    def test_role_lookup(self):
+        layout = small_layout()
+        assert layout.column_index(ColumnKind.OUTPUT, 0, True) == 2
+        assert layout.row_index(RowKind.OUTPUT, 0) == 2
+        assert layout.columns_of_kind(ColumnKind.INPUT) == [0, 1]
+        assert layout.rows_of_kind(RowKind.PRODUCT) == [0, 1]
+        with pytest.raises(CrossbarError):
+            layout.column_index(ColumnKind.CONNECTION, 0)
+
+    def test_labels(self):
+        layout = small_layout()
+        assert layout.column_roles[0].label() == "x1"
+        assert layout.column_roles[1].label() == "~x1"
+        assert layout.row_roles[0].label() == "m1"
+        assert layout.row_roles[2].label() == "O1"
+        assert ColumnRole(ColumnKind.CONNECTION, 3).label() == "g3"
+
+    def test_out_of_range_active_rejected(self):
+        with pytest.raises(CrossbarError):
+            CrossbarLayout(
+                [RowRole(RowKind.PRODUCT, 0)],
+                [ColumnRole(ColumnKind.INPUT, 0, True)],
+                [(1, 0)],
+            )
+
+    def test_to_matrix_and_render(self):
+        layout = small_layout()
+        matrix = layout.to_matrix()
+        assert matrix[0][0] == 1 and matrix[0][1] == 0
+        rendering = layout.render()
+        assert "m1" in rendering and "●" in rendering
+
+    def test_row_assignment_permutation(self):
+        layout = small_layout()
+        permuted = layout.with_row_assignment({0: 2, 1: 0, 2: 1})
+        assert permuted.rows == 3
+        assert permuted.row_roles[2] == RowRole(RowKind.PRODUCT, 0)
+        assert permuted.is_active(2, 0)
+        assert not permuted.is_active(0, 0)
+
+    def test_row_assignment_with_spare_rows(self):
+        layout = small_layout()
+        permuted = layout.with_row_assignment({0: 4, 1: 0, 2: 2})
+        assert permuted.rows == 5
+        assert permuted.active_in_row(1) == []
+
+    def test_row_assignment_validation(self):
+        layout = small_layout()
+        with pytest.raises(CrossbarError):
+            layout.with_row_assignment({0: 0, 1: 0, 2: 1})
+        with pytest.raises(CrossbarError):
+            layout.with_row_assignment({0: 0})

@@ -1,0 +1,225 @@
+"""Unit tests for factoring, NAND decomposition and technology mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.boolean.random_functions import RandomFunctionSpec, random_function_sample
+from repro.exceptions import SynthesisError
+from repro.synth.area import compare_networks, multilevel_area, multilevel_area_report
+from repro.synth.decompose import (
+    add_wide_and,
+    add_wide_nand,
+    invert_signal,
+    map_cover_factored,
+    map_cover_two_level_nand,
+)
+from repro.synth.factoring import (
+    FactorAnd,
+    FactorLiteral,
+    FactorOr,
+    factor_tree_literals,
+    factored_expression,
+    quick_factor,
+)
+from repro.synth.network import NandNetwork
+from repro.synth.signals import Literal
+from repro.synth.tech_map import (
+    MappingOptions,
+    best_network,
+    map_all_strategies,
+    technology_map,
+    verify_network,
+)
+
+
+def evaluate_tree(node, assignment):
+    if isinstance(node, FactorLiteral):
+        value = bool(assignment[node.input_index])
+        return value if node.polarity else not value
+    if isinstance(node, FactorAnd):
+        return all(evaluate_tree(child, assignment) for child in node.children)
+    return any(evaluate_tree(child, assignment) for child in node.children)
+
+
+class TestFactoring:
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            ["11-", "10-", "0-1"],
+            ["1--", "-1-", "--1"],
+            ["110", "101", "011"],
+            ["1-0-", "1-1-", "01--", "0-11"],
+        ],
+    )
+    def test_quick_factor_preserves_function(self, rows):
+        cover = Cover.from_strings(len(rows[0]), rows)
+        tree = quick_factor(cover)
+        for index in range(1 << cover.num_inputs):
+            assignment = [(index >> b) & 1 for b in range(cover.num_inputs)]
+            assert evaluate_tree(tree, assignment) == cover.evaluate(assignment)
+
+    def test_factoring_reduces_literals_when_sharing_exists(self):
+        # a·b + a·c + a·d factors to a·(b + c + d): 6 literals → 4.
+        cover = Cover.from_strings(4, ["11--", "1-1-", "1--1"])
+        tree = quick_factor(cover)
+        assert factor_tree_literals(tree) < cover.literal_count()
+
+    def test_factored_expression_text(self):
+        cover = Cover.from_strings(3, ["11-", "1-1"])
+        text = factored_expression(cover, ["a", "b", "c"])
+        assert "a" in text and ("b" in text and "c" in text)
+
+    def test_constant_covers_rejected(self):
+        with pytest.raises(SynthesisError):
+            quick_factor(Cover.zero(3))
+        with pytest.raises(SynthesisError):
+            quick_factor(Cover.one(3))
+
+    def test_absorbing_literal(self):
+        # x + x·y = x — the quotient by x is a tautology.
+        cover = Cover.from_strings(2, ["1-", "11"])
+        tree = quick_factor(cover)
+        assert factor_tree_literals(tree) <= 2
+
+
+class TestWideGates:
+    def test_wide_nand_respects_fanin(self):
+        network = NandNetwork([f"x{i}" for i in range(10)])
+        signals = [Literal(i) for i in range(10)]
+        gate = add_wide_nand(network, signals, max_fanin=4)
+        assert network.max_fanin() <= 4
+        network.add_output("f", gate)
+        # Semantics: NAND of all 10 inputs.
+        assert network.evaluate([1] * 10) == [False]
+        assert network.evaluate([1] * 9 + [0]) == [True]
+
+    def test_wide_and_semantics(self):
+        network = NandNetwork([f"x{i}" for i in range(6)])
+        gate = add_wide_and(network, [Literal(i) for i in range(6)], max_fanin=3)
+        network.add_output("f", gate)
+        assert network.evaluate([1] * 6) == [True]
+        assert network.evaluate([1, 1, 1, 0, 1, 1]) == [False]
+
+    def test_invalid_arguments(self):
+        network = NandNetwork(["a"])
+        with pytest.raises(SynthesisError):
+            add_wide_nand(network, [], max_fanin=4)
+        with pytest.raises(SynthesisError):
+            add_wide_nand(network, [Literal(0)], max_fanin=1)
+
+    def test_invert_signal(self):
+        network = NandNetwork(["a", "b"])
+        assert invert_signal(network, Literal(0)) == Literal(0, False)
+        gate = network.add_gate([Literal(0), Literal(1)])
+        inverted = invert_signal(network, gate)
+        assert inverted != gate
+
+
+class TestCoverMapping:
+    def test_two_level_nand_matches_fig5_structure(self, paper_single_output):
+        network = NandNetwork(paper_single_output.input_names)
+        map_cover_two_level_nand(
+            network,
+            paper_single_output.cover_for_output(0),
+            "f",
+            max_fanin=8,
+        )
+        # Exactly two gates: NAND(x5..x8) and the output NAND.
+        assert network.gate_count() == 2
+        assert verify_network(
+            paper_single_output.renamed(output_names=["f"]), network
+        )
+
+    def test_single_product_cover(self):
+        cover = Cover.from_strings(3, ["110"])
+        function = BooleanFunction.single_output(cover, output_name="f")
+        network = NandNetwork(function.input_names)
+        map_cover_two_level_nand(network, cover, "f", max_fanin=3)
+        assert verify_network(function, network)
+
+    def test_constant_covers(self):
+        for cover, expected in ((Cover.zero(2), [False]), (Cover.one(2), [True])):
+            network = NandNetwork(["a", "b"])
+            map_cover_two_level_nand(network, cover, "f", max_fanin=2)
+            assert network.evaluate([0, 1]) == expected
+            assert network.evaluate([1, 1]) == expected
+
+    def test_factored_mapping_preserves_function(self, small_cover):
+        function = BooleanFunction.single_output(small_cover, output_name="f")
+        network = NandNetwork(function.input_names)
+        map_cover_factored(network, small_cover, "f", max_fanin=3)
+        assert verify_network(function, network)
+
+
+class TestTechnologyMap:
+    def test_strategies_all_verify(self, paper_two_output):
+        for strategy, network in map_all_strategies(paper_two_output).items():
+            assert verify_network(paper_two_output, network), strategy
+
+    def test_best_is_not_worse_than_either(self, paper_two_output):
+        networks = map_all_strategies(paper_two_output)
+        best = best_network(paper_two_output)
+        assert multilevel_area(best) <= min(
+            multilevel_area(n) for n in networks.values()
+        )
+
+    def test_unknown_strategy_rejected(self, paper_two_output):
+        with pytest.raises(SynthesisError):
+            technology_map(
+                paper_two_output, options=MappingOptions(strategy="magic")
+            )
+
+    def test_max_fanin_respected(self, paper_single_output):
+        network = technology_map(
+            paper_single_output, options=MappingOptions(max_fanin=3)
+        )
+        assert network.max_fanin() <= 3
+        assert verify_network(paper_single_output, network)
+
+    def test_invalid_fanin_rejected(self, paper_single_output):
+        with pytest.raises(SynthesisError):
+            technology_map(
+                paper_single_output, options=MappingOptions(max_fanin=1)
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_functions_verify(self, seed):
+        spec = RandomFunctionSpec(num_inputs=6, max_products=8, max_literals=4)
+        for function in random_function_sample(spec, 3, seed=seed):
+            network = best_network(function)
+            assert verify_network(function, network)
+
+    def test_verify_network_detects_output_name_mismatch(self, paper_two_output):
+        network = best_network(paper_two_output)
+        renamed = paper_two_output.renamed(output_names=["a", "b"])
+        assert not verify_network(renamed, network)
+
+
+class TestAreaModel:
+    def test_fig5_example_area(self, paper_single_output):
+        network = best_network(paper_single_output)
+        report = multilevel_area_report(network)
+        assert (report.rows, report.columns) == (3, 19)
+        assert report.area == 57
+        assert report.connection_columns == 1
+        assert 0 < report.inclusion_ratio < 1
+
+    def test_area_matches_layout(self, paper_two_output):
+        from repro.crossbar.multi_level import MultiLevelDesign
+
+        network = best_network(paper_two_output)
+        design = MultiLevelDesign(network)
+        report = multilevel_area_report(network)
+        assert design.layout.rows == report.rows
+        assert design.layout.columns == report.columns
+        assert design.layout.active_count() == report.active_devices
+
+    def test_compare_networks(self, paper_two_output):
+        networks = list(map_all_strategies(paper_two_output).values())
+        winner = compare_networks(*networks)
+        assert multilevel_area(winner) == min(multilevel_area(n) for n in networks)
+        with pytest.raises(ValueError):
+            compare_networks()

@@ -1,0 +1,142 @@
+"""Unit tests for NAND network signals, gates and the network container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.synth.network import NandGate, NandNetwork
+from repro.synth.signals import GateRef, Literal, is_gate, is_literal, signal_sort_key
+
+
+class TestSignals:
+    def test_literal_polarity_and_inversion(self):
+        literal = Literal(2, True)
+        assert literal.evaluate([0, 0, 1]) is True
+        assert literal.inverted().evaluate([0, 0, 1]) is False
+        assert literal.label() == "x3"
+        assert literal.inverted().label() == "~x3"
+
+    def test_literal_named_label(self):
+        assert Literal(0, False).label(["alpha"]) == "~alpha"
+
+    def test_gate_ref_label(self):
+        assert GateRef(4).label() == "g4"
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(SynthesisError):
+            Literal(-1)
+        with pytest.raises(SynthesisError):
+            GateRef(-2)
+
+    def test_kind_predicates_and_sort_key(self):
+        assert is_literal(Literal(0)) and not is_gate(Literal(0))
+        assert is_gate(GateRef(0)) and not is_literal(GateRef(0))
+        signals = [GateRef(1), Literal(2, False), Literal(0, True)]
+        ordered = sorted(signals, key=signal_sort_key)
+        assert ordered[0] == Literal(0, True)
+        assert ordered[-1] == GateRef(1)
+
+
+class TestNandGate:
+    def test_requires_fanins(self):
+        with pytest.raises(SynthesisError):
+            NandGate(0, ())
+
+    def test_topological_violation_rejected(self):
+        with pytest.raises(SynthesisError):
+            NandGate(1, (GateRef(2),))
+
+    def test_inverter_detection(self):
+        assert NandGate(1, (GateRef(0),)).is_inverter()
+        assert not NandGate(0, (Literal(0), Literal(1))).is_inverter()
+
+
+class TestNandNetwork:
+    def build_example(self) -> NandNetwork:
+        """The paper's Fig. 5 network: f = x1+x2+x3+x4+x5x6x7x8."""
+        network = NandNetwork([f"x{i}" for i in range(1, 9)], name="fig5")
+        g0 = network.add_gate([Literal(i) for i in (4, 5, 6, 7)])
+        g1 = network.add_gate(
+            [Literal(i, False) for i in (0, 1, 2, 3)] + [g0]
+        )
+        network.add_output("f", g1)
+        return network
+
+    def test_gate_sharing(self):
+        network = NandNetwork(["a", "b"])
+        first = network.add_gate([Literal(0), Literal(1)])
+        second = network.add_gate([Literal(1), Literal(0)])
+        assert first == second
+        assert network.gate_count() == 1
+        third = network.add_gate([Literal(0), Literal(1)], share=False)
+        assert third != first
+
+    def test_duplicate_fanins_collapse(self):
+        network = NandNetwork(["a"])
+        gate = network.add_gate([Literal(0), Literal(0)])
+        assert network.gates[gate.gate_id].fanin_count == 1
+
+    def test_invalid_signals_rejected(self):
+        network = NandNetwork(["a"])
+        with pytest.raises(SynthesisError):
+            network.add_gate([Literal(3)])
+        with pytest.raises(SynthesisError):
+            network.add_gate([GateRef(0)])
+        with pytest.raises(SynthesisError):
+            network.add_gate([])
+
+    def test_inverter_helper(self):
+        network = NandNetwork(["a", "b"])
+        gate = network.add_gate([Literal(0), Literal(1)])
+        inverter = network.add_inverter(gate)
+        assert network.gates[inverter.gate_id].is_inverter()
+        with pytest.raises(SynthesisError):
+            network.add_inverter(Literal(0))
+
+    def test_duplicate_output_names_rejected(self):
+        network = NandNetwork(["a"])
+        network.add_output("f", Literal(0))
+        with pytest.raises(SynthesisError):
+            network.add_output("f", Literal(0))
+
+    def test_statistics_of_fig5_network(self):
+        network = self.build_example()
+        assert network.gate_count() == 2
+        assert network.max_fanin() == 5
+        assert network.total_fanin_connections() == 9
+        assert network.internal_gate_ids() == {0}
+        assert network.depth() == 2
+        assert network.levels() == {0: 1, 1: 2}
+        assert network.fanout_counts() == {0: 1, 1: 0}
+        assert network.evaluation_order() == [0, 1]
+
+    def test_evaluate_matches_reference(self, paper_single_output):
+        network = self.build_example()
+        for assignment in paper_single_output.iter_assignments():
+            assert network.evaluate(assignment) == paper_single_output.evaluate(
+                assignment
+            )
+
+    def test_evaluate_wrong_width(self):
+        network = self.build_example()
+        with pytest.raises(SynthesisError):
+            network.evaluate([0, 1])
+
+    def test_output_inversion(self):
+        network = NandNetwork(["a", "b"])
+        gate = network.add_gate([Literal(0), Literal(1)])
+        network.add_output("nand", gate)
+        network.add_output("and", gate, invert=True)
+        assert network.evaluate([1, 1]) == [False, True]
+        assert network.evaluate([1, 0]) == [True, False]
+
+    def test_literal_output(self):
+        network = NandNetwork(["a"])
+        network.add_output("wire", Literal(0))
+        assert network.evaluate([1]) == [True]
+
+    def test_describe_mentions_gates_and_outputs(self):
+        network = self.build_example()
+        text = network.describe()
+        assert "g0 = NAND(" in text and "f =" in text

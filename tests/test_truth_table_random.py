@@ -1,0 +1,128 @@
+"""Unit tests for truth-table helpers and random-function generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.boolean.random_functions import (
+    RandomFunctionSpec,
+    random_cover,
+    random_cube,
+    random_function_sample,
+    random_multi_output_function,
+    random_single_output_function,
+)
+from repro.boolean.truth_table import (
+    all_assignments,
+    assignment_to_index,
+    first_disagreement,
+    functions_agree,
+    index_to_assignment,
+    sample_assignments,
+    verification_assignments,
+)
+from repro.exceptions import BooleanFunctionError
+
+
+class TestTruthTableHelpers:
+    def test_index_roundtrip(self):
+        for index in range(16):
+            assignment = index_to_assignment(index, 4)
+            assert assignment_to_index(assignment) == index
+
+    def test_index_out_of_range(self):
+        with pytest.raises(BooleanFunctionError):
+            index_to_assignment(16, 4)
+
+    def test_assignment_to_index_rejects_non_bits(self):
+        with pytest.raises(BooleanFunctionError):
+            assignment_to_index([0, 2])
+
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(4))) == 16
+
+    def test_sample_assignments_deterministic(self):
+        a = list(sample_assignments(6, 10, seed=3))
+        b = list(sample_assignments(6, 10, seed=3))
+        assert a == b
+
+    def test_verification_switches_to_sampling(self):
+        exhaustive = list(verification_assignments(3))
+        assert len(exhaustive) == 8
+        sampled = list(verification_assignments(20, samples=32))
+        assert len(sampled) == 32
+
+    def test_functions_agree_and_disagreement(self, paper_two_output):
+        assert functions_agree(paper_two_output, paper_two_output.evaluate)
+
+        def broken(assignment):
+            values = paper_two_output.evaluate(assignment)
+            return [not values[0], values[1]]
+
+        assert not functions_agree(paper_two_output, broken)
+        witness = first_disagreement(paper_two_output, broken)
+        assert witness is not None
+        assignment, expected, actual = witness
+        assert expected[0] != actual[0]
+
+
+class TestRandomGeneration:
+    def test_random_cube_literal_count(self):
+        import random
+
+        rng = random.Random(0)
+        cube = random_cube(8, 3, rng)
+        assert cube.literal_count() == 3
+
+    def test_random_cube_invalid_count(self):
+        import random
+
+        with pytest.raises(BooleanFunctionError):
+            random_cube(4, 5, random.Random(0))
+
+    def test_random_cover_respects_spec(self):
+        import random
+
+        spec = RandomFunctionSpec(num_inputs=6, min_products=2, max_products=6,
+                                  max_literals=3)
+        cover = random_cover(spec, random.Random(1))
+        assert isinstance(cover, Cover)
+        assert cover.num_inputs == 6
+        assert all(cube.literal_count() <= 3 for cube in cover)
+
+    def test_single_output_function_deterministic(self):
+        spec = RandomFunctionSpec(num_inputs=8)
+        a = random_single_output_function(spec, seed=5)
+        b = random_single_output_function(spec, seed=5)
+        assert a.equivalent(b)
+        assert a.num_outputs == 1
+
+    def test_sample_reproducible_and_distinct_seeds(self):
+        spec = RandomFunctionSpec(num_inputs=8)
+        sample = random_function_sample(spec, 5, seed=2)
+        again = random_function_sample(spec, 5, seed=2)
+        assert [f.num_products for f in sample] == [f.num_products for f in again]
+
+    def test_multi_output_exact_statistics(self):
+        function = random_multi_output_function(7, 5, 23, seed=9)
+        assert function.num_inputs == 7
+        assert function.num_outputs == 5
+        assert function.num_products == 23
+        driven = set()
+        for product in function.products:
+            driven |= product.outputs
+        assert driven == set(range(5))
+
+    def test_multi_output_invalid_spec(self):
+        with pytest.raises(BooleanFunctionError):
+            # Too many distinct products requested for a tiny input space.
+            random_multi_output_function(1, 1, 50, seed=0)
+
+    def test_spec_validation(self):
+        spec = RandomFunctionSpec(num_inputs=4, min_products=10, max_products=2)
+        import random
+
+        with pytest.raises(BooleanFunctionError):
+            random_cover(spec, random.Random(0))
