@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from conftest import sample_size, save_result
 
-from repro.boolean import BooleanFunction, Cover
-from repro.crossbar.metrics import choose_dual
 from repro.circuits import all_table1_names, get_benchmark
 from repro.experiments.defect_sweep import run_defect_sweep
 from repro.experiments.monte_carlo import run_mapping_monte_carlo

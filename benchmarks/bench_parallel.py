@@ -1,0 +1,88 @@
+"""Wall-clock speedup of the parallel Monte-Carlo batch engine.
+
+Runs the same Monte-Carlo mapping experiment serially (``workers=1``)
+and on a process pool (``workers=N``), verifies the counting statistics
+are bit-identical, and reports the wall-clock speedup.  On a multi-core
+runner the parallel run should approach ``min(N, cores)`` times faster
+once the per-sample work dominates the pool start-up cost.
+
+This is a standalone script (not a pytest-benchmark case) so it can be
+pointed at any circuit / sample budget::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --circuit alu4 --samples 400 --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.circuits import get_benchmark
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+
+def _counting_stats(result):
+    return {
+        name: (o.successes, o.samples, o.total_backtracks, o.invalid_mappings)
+        for name, o in result.outcomes.items()
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="ex1010",
+                        help="benchmark circuit name (default: ex1010)")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="Monte-Carlo sample size (default: 200)")
+    parser.add_argument("--defect-rate", type=float, default=0.10,
+                        help="stuck-open defect rate (default: 0.10)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count (default: CPU count)")
+    parser.add_argument("--algorithms", nargs="+",
+                        default=["hybrid", "exact"],
+                        help="registered mapper names (default: hybrid exact)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workers = args.workers or max(1, os.cpu_count() or 1)
+    function = get_benchmark(args.circuit)
+    kwargs = dict(
+        defect_rate=args.defect_rate,
+        sample_size=args.samples,
+        algorithms=tuple(args.algorithms),
+        seed=args.seed,
+    )
+    print(f"Circuit {args.circuit}: {function.num_products} products, "
+          f"{args.samples} samples, algorithms={args.algorithms}, "
+          f"machine has {os.cpu_count()} core(s)")
+
+    start = time.perf_counter()
+    serial = run_mapping_monte_carlo(function, workers=1, **kwargs)
+    serial_elapsed = time.perf_counter() - start
+    print(f"workers=1        : {serial_elapsed:7.2f} s")
+
+    start = time.perf_counter()
+    parallel = run_mapping_monte_carlo(function, workers=workers, **kwargs)
+    parallel_elapsed = time.perf_counter() - start
+    print(f"workers={workers:<8d}: {parallel_elapsed:7.2f} s")
+
+    if _counting_stats(serial) != _counting_stats(parallel):
+        raise SystemExit("FAIL: statistics differ between worker counts")
+    print("statistics identical across worker counts: OK")
+
+    speedup = serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else 0.0
+    print(f"speedup: {speedup:.2f}x")
+    for name in args.algorithms:
+        outcome = serial.outcome(name)
+        print(f"  {name:7s}: success rate {outcome.success_rate:.0%}, "
+              f"mean mapping time {outcome.mean_runtime * 1e3:.2f} ms")
+    if (os.cpu_count() or 1) == 1:
+        print("note: single-core machine — no wall-clock speedup is "
+              "expected here, only the determinism check is meaningful")
+
+
+if __name__ == "__main__":
+    main()

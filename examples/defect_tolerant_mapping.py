@@ -1,10 +1,10 @@
 """Defect-tolerant mapping of a benchmark circuit (paper §IV–V).
 
 Generates a defective optimum-size crossbar for the ``misex1`` benchmark
-at the paper's 10 % stuck-at-open rate, runs the hybrid (HBA) and exact
-(EA) mappers, validates the winning mapping by simulating the permuted
-design on the defective array, and finishes with a small Monte-Carlo
-comparison of the two algorithms.
+at the paper's 10 % stuck-at-open rate, runs every registered mapping
+algorithm on it through the fluent pipeline, and finishes with a
+parallel Monte-Carlo comparison.  Also shows how a custom mapper plugs
+into the registry and immediately becomes usable by name.
 
 Run with::
 
@@ -13,57 +13,59 @@ Run with::
 
 from __future__ import annotations
 
-from repro.circuits import get_benchmark
+from repro import Design, list_mappers, register_mapper
 from repro.defects import capacity_report, inject_uniform
-from repro.experiments import run_mapping_monte_carlo
-from repro.mapping import (
-    CrossbarMatrix,
-    ExactMapper,
-    FunctionMatrix,
-    HybridMapper,
-    validate_both,
-)
+from repro.mapping import GreedyMapper
 
 
 def main() -> None:
     # 1. The circuit and its optimum-size crossbar.
-    function = get_benchmark("misex1")
-    function_matrix = FunctionMatrix(function)
-    print(f"Circuit: {function}")
-    print(f"Optimum crossbar: {function_matrix.num_rows} x "
-          f"{function_matrix.num_columns} "
-          f"(IR = {function_matrix.inclusion_ratio():.0%})")
+    design = Design.from_benchmark("misex1")
+    rows, columns = design.crossbar_shape
+    matrix = design.function_matrix()
+    print(f"Circuit: {design.function}")
+    print(f"Optimum crossbar: {rows} x {columns} "
+          f"(IR = {matrix.inclusion_ratio():.0%})")
 
-    # 2. A defective crossbar at the paper's 10 % stuck-open rate.
-    defect_map = inject_uniform(
-        function_matrix.num_rows, function_matrix.num_columns, 0.10, seed=2024
-    )
+    # 2. One defective crossbar at the paper's 10 % stuck-open rate.
+    defect_map = inject_uniform(rows, columns, 0.10, seed=2024)
     report = capacity_report(defect_map)
     print(f"\nInjected defects: {report.total_defects} "
           f"({defect_map.defect_rate():.1%} of crosspoints)")
 
-    # 3. Map with both algorithms.
-    crossbar_matrix = CrossbarMatrix(defect_map)
-    for mapper in (HybridMapper(), ExactMapper()):
-        result = mapper.map(function_matrix, crossbar_matrix)
-        print(f"\n{result.summary()}")
-        if result.success:
+    # 3. Map with every registered algorithm — resolvable by name.
+    print(f"\nRegistered mappers: {', '.join(list_mappers())}")
+    for name in ("hybrid", "exact"):
+        mapped = design.map(defects=defect_map, algorithm=name)
+        evaluation = mapped.evaluate()
+        print(f"\n{mapped.summary()}")
+        if mapped.success:
             moved = sum(
-                1 for logical, physical in result.row_assignment.items()
+                1 for logical, physical in mapped.result.row_assignment.items()
                 if logical != physical
             )
             print(f"  rows relocated away from their naive position: {moved}")
-            valid = validate_both(function, defect_map, result, samples=64)
             print(f"  end-to-end validation on the defective array: "
-                  f"{'PASS' if valid else 'FAIL'}")
+                  f"{'PASS' if evaluation.functionally_valid else 'FAIL'}")
 
-    # 4. Monte-Carlo comparison (a scaled-down Table II row).
+    # 4. A custom mapper registers once and is then usable by name in
+    #    every experiment harness (here: the pure-greedy ablation under
+    #    a private label).
+    if "my-greedy" not in list_mappers():
+        register_mapper("my-greedy", GreedyMapper)
+
+    # 5. Monte-Carlo comparison (a scaled-down Table II row), batched by
+    #    the parallel engine; statistics are worker-count independent.
     print("\nMonte-Carlo comparison (50 defective crossbars):")
-    monte_carlo = run_mapping_monte_carlo(
-        function, defect_rate=0.10, sample_size=50, seed=7
+    monte_carlo = design.monte_carlo(
+        defect_rate=0.10,
+        sample_size=50,
+        seed=7,
+        algorithms=("hybrid", "exact", "my-greedy"),
+        workers=None,
     )
     for name, outcome in monte_carlo.outcomes.items():
-        print(f"  {name:7s}: success rate {outcome.success_rate:.0%}, "
+        print(f"  {name:9s}: success rate {outcome.success_rate:.0%}, "
               f"mean runtime {outcome.mean_runtime * 1e3:.2f} ms")
 
 

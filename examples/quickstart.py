@@ -1,9 +1,10 @@
-"""Quickstart: map a Boolean function onto a memristive crossbar.
+"""Quickstart: the fluent Design -> Map -> Evaluate pipeline.
 
-Walks through the paper's running example (``f = x1 + x2 + x3 + x4 +
-x5·x6·x7·x8``): build the function, create the two-level and multi-level
-crossbar designs, compare their area costs, and run the crossbar
-controller through its computation phases to evaluate a few inputs.
+Walks the paper's running example (``f = x1 + x2 + x3 + x4 +
+x5·x6·x7·x8``) through the unified ``repro`` API: build a design,
+minimise it, pick the cheaper of ``f`` and ``f̄``, map it onto a
+defective crossbar, validate the result end-to-end, and finish with a
+parallel Monte-Carlo batch.
 
 Run with::
 
@@ -12,58 +13,53 @@ Run with::
 
 from __future__ import annotations
 
-from repro.boolean import BooleanFunction, parse_sop
-from repro.crossbar import (
-    CrossbarController,
-    MultiLevelDesign,
-    TwoLevelDesign,
-    verify_layout,
-)
-from repro.synth import best_network
+from repro import Design
 
 
 def main() -> None:
-    # 1. Describe the function the way the paper writes it.
-    cover, input_names = parse_sop("x1 + x2 + x3 + x4 + x5 x6 x7 x8")
-    function = BooleanFunction.single_output(cover, name="paper_example")
-    print(f"Function: {function}")
+    # 1. Describe the function the way the paper writes it and inspect
+    #    the pipeline state.
+    design = (
+        Design.from_sop("x1 + x2 + x3 + x4 + x5 x6 x7 x8", name="paper_example")
+        .minimize()
+        .choose_dual()
+    )
+    print(design.describe())
 
-    # 2. Two-level design (NAND plane + AND plane, Fig. 3).
-    two_level = TwoLevelDesign(function)
-    print(f"\nTwo-level design : {two_level.layout.rows} x "
-          f"{two_level.layout.columns} = {two_level.area} crosspoints "
-          f"(IR = {two_level.inclusion_ratio:.0%})")
+    # 2. Map onto one defective crossbar and evaluate: matrix-level
+    #    check plus a full simulation of the permuted layout on the
+    #    defective array.  (This tiny design uses nearly every
+    #    crosspoint, so we inject 3 % defects here — the paper's 10 %
+    #    protocol targets the larger Table II benchmarks; see
+    #    examples/defect_tolerant_mapping.py.)
+    report = design.map(defects=0.03, algorithm="hybrid", seed=2024).evaluate()
+    print(f"\n{report.summary()}")
+    print(f"  matrix-level valid : {report.valid_assignment}")
+    print(f"  functionally valid : {report.functionally_valid}")
 
-    # 3. Multi-level design (NAND network + connection columns, Fig. 5).
-    network = best_network(function)
-    print("\nSynthesised NAND network:")
-    print(network.describe())
-    multi_level = MultiLevelDesign(network)
-    print(f"\nMulti-level design: {multi_level.layout.rows} x "
-          f"{multi_level.layout.columns} = {multi_level.area} crosspoints "
-          f"({multi_level.network.gate_count()} gates, "
-          f"{multi_level.network.depth()} levels)")
-    print(f"Area saving vs two-level: "
-          f"{1 - multi_level.area / two_level.area:.0%}")
+    # 3. Results serialize to plain dicts for caching/archiving.
+    print(f"\nSerialized report keys: {sorted(report.to_dict())}")
 
-    # 4. Both layouts compute the same function as the specification.
-    assert verify_layout(two_level.layout, function)
-    assert verify_layout(multi_level.layout, function, multi_level=True)
-    print("\nBoth layouts verified against the Boolean specification.")
+    # 4. A Monte-Carlo batch over many defective crossbars.  workers=None
+    #    (auto) parallelises across CPU cores on larger batches; the
+    #    statistics are identical for every worker count.
+    monte_carlo = design.monte_carlo(
+        defect_rate=0.03, sample_size=100, seed=7, workers=None
+    )
+    print(f"\nMonte-Carlo over {monte_carlo.sample_size} defective crossbars "
+          f"({monte_carlo.workers} worker(s), "
+          f"{monte_carlo.elapsed_seconds:.2f} s):")
+    for name, outcome in monte_carlo.outcomes.items():
+        print(f"  {name:7s}: success rate {outcome.success_rate:.0%}, "
+              f"mean runtime {outcome.mean_runtime * 1e3:.2f} ms")
 
-    # 5. Drive the crossbar through its computation phases.
-    controller = CrossbarController(two_level.layout)
-    print("\nEvaluating a few inputs on the two-level crossbar:")
-    for assignment in ([0] * 8, [1] + [0] * 7, [0, 0, 0, 0, 1, 1, 1, 1]):
-        outputs = controller.compute(assignment)
-        print(f"  x = {assignment} -> f = {outputs[0]}")
-
-    result, traces = controller.run([0, 0, 0, 0, 1, 1, 1, 1])
-    print("\nPhase-by-phase trace of the last computation:")
-    for trace in traces:
-        print(f"  {trace.phase.name:4s} - {trace.description}")
-    print(f"Final outputs: f = {result.outputs[0]}, f̄ = "
-          f"{result.complemented_outputs[0]}")
+    # 5. Redundancy is one chain step away.
+    redundant = design.with_redundancy(rows=2, columns=2)
+    rows, columns = redundant.crossbar_shape
+    report = redundant.map(defects=0.03, seed=2024).evaluate()
+    print(f"\nWith 2+2 redundancy ({rows} x {columns} crossbar): "
+          f"{'mapped' if report.ok else 'failed'}, "
+          f"area overhead {report.area / design.area - 1:.0%}")
 
 
 if __name__ == "__main__":

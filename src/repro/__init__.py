@@ -16,11 +16,29 @@ package is organised by substrate:
   assignment;
 * :mod:`repro.circuits` — benchmark circuits;
 * :mod:`repro.experiments` — harnesses regenerating every table and
-  figure of the paper plus the future-work extensions.
+  figure of the paper plus the future-work extensions;
+* :mod:`repro.api` — the unified public face: the fluent
+  :class:`~repro.api.pipeline.Design` pipeline
+  (``Design.from_benchmark("misex1").minimize().choose_dual()
+  .map(defects=0.10).evaluate()``), the pluggable mapper registry
+  (:func:`~repro.api.registry.register_mapper`) and the parallel batch
+  engine (:class:`~repro.api.batch.BatchRunner`) behind
+  ``run_mapping_monte_carlo(..., workers=N)``.
 
 The most common entry points are re-exported here.
 """
 
+from repro.api.batch import BatchRunner
+from repro.api.pipeline import Design, MappedDesign
+from repro.api.registry import (
+    Mapper,
+    MapperRegistry,
+    create_mapper,
+    list_mappers,
+    register_mapper,
+)
+from repro.api.results import EvaluationResult
+from repro.api.seeding import derive_seed
 from repro.boolean import BooleanFunction, Cover, Cube, parse_pla, parse_sop
 from repro.circuits import get_benchmark, list_benchmarks
 from repro.crossbar import (
@@ -55,11 +73,21 @@ from repro.mapping import (
 )
 from repro.synth import NandNetwork, best_network, technology_map
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "ReproError",
+    "Design",
+    "MappedDesign",
+    "EvaluationResult",
+    "Mapper",
+    "MapperRegistry",
+    "register_mapper",
+    "create_mapper",
+    "list_mappers",
+    "BatchRunner",
+    "derive_seed",
     "Cube",
     "Cover",
     "BooleanFunction",

@@ -1,0 +1,69 @@
+"""repro.api — the unified public face of the reproduction.
+
+Three pieces compose into one discoverable surface:
+
+* the fluent :class:`Design` pipeline
+  (``Design.from_benchmark("misex1").minimize().choose_dual()
+  .map(defects=0.10).evaluate()``) in :mod:`repro.api.pipeline`;
+* the pluggable mapper registry (:func:`register_mapper`,
+  :func:`list_mappers`, :func:`create_mapper`) in
+  :mod:`repro.api.registry`;
+* the parallel batch engine (:class:`BatchRunner`) and the
+  collision-free seed streams (:func:`derive_seed`) in
+  :mod:`repro.api.batch` / :mod:`repro.api.seeding` that power
+  ``run_mapping_monte_carlo(..., workers=N)``.
+
+Attributes are resolved lazily (PEP 562) so that low-level packages —
+``repro.defects``, ``repro.experiments`` — can import the submodule they
+need (``repro.api.seeding``, ``repro.api.registry``) without dragging in
+the pipeline layer built on top of them.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # pipeline
+    "Design": "repro.api.pipeline",
+    "MappedDesign": "repro.api.pipeline",
+    # registry
+    "Mapper": "repro.api.registry",
+    "MapperRegistry": "repro.api.registry",
+    "default_registry": "repro.api.registry",
+    "register_mapper": "repro.api.registry",
+    "unregister_mapper": "repro.api.registry",
+    "create_mapper": "repro.api.registry",
+    "list_mappers": "repro.api.registry",
+    "resolve_mappers": "repro.api.registry",
+    # batch engine
+    "BatchRunner": "repro.api.batch",
+    "BatchPlan": "repro.api.batch",
+    "auto_workers": "repro.api.batch",
+    "chunk_ranges": "repro.api.batch",
+    # seeding
+    "derive_seed": "repro.api.seeding",
+    "spawn_seeds": "repro.api.seeding",
+    # results
+    "EvaluationResult": "repro.api.results",
+    "function_to_dict": "repro.api.results",
+    "function_from_dict": "repro.api.results",
+    "defect_map_to_dict": "repro.api.results",
+    "defect_map_from_dict": "repro.api.results",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

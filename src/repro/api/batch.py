@@ -1,0 +1,172 @@
+"""Chunked batch execution: serial or process-parallel, same results.
+
+:class:`BatchRunner` is the execution engine behind the Monte-Carlo
+harness (and any other embarrassingly-parallel experiment): work is
+split into independently-seeded chunks, each chunk is a pure picklable
+payload, and the per-chunk results are merged **in submission order** so
+the statistics are bit-identical whether the chunks ran serially, on 2
+workers or on 32.
+
+Determinism contract
+--------------------
+``BatchRunner`` guarantees order: ``run(fn, payloads)`` returns
+``[fn(p) for p in payloads]`` regardless of the worker count or which
+process computed which chunk.  Any nondeterminism must therefore come
+from the payloads themselves — which is why the Monte-Carlo chunks seed
+every sample from :func:`repro.api.seeding.derive_seed` of its *global*
+sample index, never from its position within a chunk.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+
+
+def _noop() -> None:
+    """Picklable no-op used to probe process-spawn rights."""
+
+
+def auto_workers() -> int:
+    """Default worker count: the CPUs actually available to this process.
+
+    Uses the scheduler affinity mask where the platform exposes it, so
+    cgroup/affinity-limited containers are not oversubscribed by the
+    host's full core count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def chunk_ranges(total: int, chunk_size: int) -> list[range]:
+    """Split ``range(total)`` into contiguous chunks of ``chunk_size``."""
+    if total < 0:
+        raise ExperimentError(f"total must be non-negative, got {total}")
+    if chunk_size <= 0:
+        raise ExperimentError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        range(start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def default_chunk_size(total: int, workers: int) -> int:
+    """Chunk size giving each worker ~4 chunks (bounded load imbalance).
+
+    Small enough to keep all workers busy until the end of the batch,
+    large enough to amortise pickling and process round-trips.
+    """
+    if total <= 0:
+        return 1
+    return max(1, math.ceil(total / max(1, workers * 4)))
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Resolved execution plan of one batch (for reporting/tests)."""
+
+    total: int
+    workers: int
+    chunk_size: int
+    num_chunks: int
+    parallel: bool
+
+
+class BatchRunner:
+    """Execute a function over payloads, serially or via a process pool.
+
+    Each :meth:`run` call creates (and tears down) its own pool.  That
+    keeps the runner stateless and fork-cheap on Linux; under the
+    ``spawn`` start method, callers looping over many small batches pay
+    interpreter start-up per call and may prefer fewer, larger batches.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` forces serial in-process execution; an integer ``> 1``
+        forces a :class:`~concurrent.futures.ProcessPoolExecutor` of
+        that size; ``None`` (auto) uses the CPU count but stays serial
+        when the machine has a single core or the batch is trivially
+        small (``min_parallel_items``) — spawning a pool would only add
+        overhead there.
+    min_parallel_items:
+        Auto mode stays serial below this many items.
+    """
+
+    def __init__(self, workers: int | None = None, *, min_parallel_items: int = 64):
+        if workers is not None and workers < 1:
+            raise ExperimentError(f"workers must be >= 1 or None, got {workers}")
+        self.workers = workers
+        self.min_parallel_items = min_parallel_items
+        #: Worker count the most recent :meth:`run` actually used (1 when
+        #: it took the serial path, including the no-spawn-rights
+        #: fallback).  ``None`` until the first run.
+        self.last_run_workers: int | None = None
+
+    def resolved_workers(self, total_items: int) -> int:
+        """Worker count actually used for a batch of ``total_items``."""
+        if self.workers is not None:
+            return self.workers
+        if total_items < self.min_parallel_items:
+            return 1
+        return auto_workers()
+
+    def plan(self, total_items: int, chunk_size: int | None = None) -> BatchPlan:
+        """Resolve workers/chunking for a batch without running it."""
+        workers = self.resolved_workers(total_items)
+        size = chunk_size or default_chunk_size(total_items, workers)
+        chunks = chunk_ranges(total_items, size)
+        return BatchPlan(
+            total=total_items,
+            workers=workers,
+            chunk_size=size,
+            num_chunks=len(chunks),
+            parallel=workers > 1 and len(chunks) > 1,
+        )
+
+    def run(
+        self, fn: Callable, payloads: Sequence, *, total_items: int | None = None
+    ) -> list:
+        """``[fn(p) for p in payloads]``, possibly computed in parallel.
+
+        ``fn`` and every payload must be picklable when more than one
+        worker is in play (module-level functions and plain dataclasses
+        are).  Results always come back in payload order.
+
+        ``total_items`` is the logical batch size when the payloads are
+        pre-chunked aggregates (e.g. ~4 chunks per worker): auto mode
+        must decide serial-vs-parallel from the amount of *work*, not
+        from the number of chunks it was split into.  Defaults to
+        ``len(payloads)``.
+        """
+        payloads = list(payloads)
+        workers = self.resolved_workers(
+            len(payloads) if total_items is None else total_items
+        )
+        self.last_run_workers = 1
+        if workers <= 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        max_workers = min(workers, len(payloads))
+        executor = None
+        try:
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+            # Probe spawn rights with a no-op before committing the real
+            # batch: sandboxes without process-spawn permission fail here
+            # and fall back to serial execution (the determinism contract
+            # makes the results identical).  Errors raised by ``fn``
+            # itself are NOT caught — they propagate from the map below.
+            executor.submit(_noop).result()
+        except (OSError, BrokenExecutor):
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            return [fn(payload) for payload in payloads]
+        self.last_run_workers = max_workers
+        with executor:
+            return list(executor.map(fn, payloads))

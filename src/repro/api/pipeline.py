@@ -1,0 +1,481 @@
+"""The fluent Design -> Map -> Evaluate pipeline.
+
+One discoverable object chain wraps the whole reproduction flow that
+examples and experiments used to hand-wire from internals::
+
+    from repro import Design
+
+    report = (
+        Design.from_benchmark("misex1")
+        .minimize()
+        .choose_dual()
+        .with_redundancy(rows=2, columns=2)
+        .map(defects=0.10, algorithm="hybrid", seed=7)
+        .evaluate()
+    )
+    print(report.summary())
+
+Each chaining step returns a *new* :class:`Design`, so partial pipelines
+can be reused and fanned out (e.g. one minimised design mapped at many
+defect rates).  ``map`` produces a :class:`MappedDesign` holding the
+live artefacts (implementation, defect map, mapping result);
+``evaluate`` condenses them into a serializable
+:class:`~repro.api.results.EvaluationResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.boolean.expression import parse_sop
+from repro.boolean.function import BooleanFunction
+from repro.boolean.pla import parse_pla
+from repro.crossbar.metrics import DualSelection, choose_dual
+from repro.defects.defect_map import DefectMap
+from repro.defects.injection import inject_uniform
+from repro.defects.types import DefectProfile
+from repro.exceptions import ExperimentError
+from repro.mapping.crossbar_matrix import CrossbarMatrix
+from repro.mapping.function_matrix import FunctionMatrix
+from repro.mapping.result import MappingResult
+from repro.mapping.validate import validate_assignment, validate_functionally
+from repro.api.registry import Mapper, create_mapper
+from repro.api.results import (
+    EvaluationResult,
+    defect_map_from_dict,
+    defect_map_to_dict,
+    function_from_dict,
+    function_to_dict,
+)
+from repro.api.seeding import derive_seed
+
+
+class Design:
+    """An immutable, chainable logic-design pipeline stage.
+
+    Construct with one of the ``from_*`` classmethods, refine with the
+    chaining methods (each returns a new ``Design``), then terminate
+    with :meth:`map` (one crossbar) or :meth:`monte_carlo` (a batch).
+    """
+
+    def __init__(
+        self,
+        function: BooleanFunction,
+        *,
+        steps: tuple[str, ...] = (),
+        dual_selection: DualSelection | None = None,
+        extra_rows: int = 0,
+        extra_columns: int = 0,
+    ):
+        self._function = function
+        self._steps = tuple(steps)
+        self._dual_selection = dual_selection
+        self._extra_rows = int(extra_rows)
+        self._extra_columns = int(extra_columns)
+        self._matrix: FunctionMatrix | None = None
+        if self._extra_rows < 0 or self._extra_columns < 0:
+            raise ExperimentError("redundancy must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_function(cls, function: BooleanFunction) -> "Design":
+        """Wrap an existing :class:`BooleanFunction`."""
+        if not isinstance(function, BooleanFunction):
+            raise ExperimentError(
+                f"from_function expects a BooleanFunction, got {type(function)!r}"
+            )
+        label = function.name or "<anonymous>"
+        return cls(function, steps=(f"from_function({label})",))
+
+    @classmethod
+    def from_sop(cls, expression: str, *, name: str = "") -> "Design":
+        """Parse a sum-of-products expression, e.g. ``"x1 + x2 x3"``."""
+        cover, input_names = parse_sop(expression)
+        function = BooleanFunction.single_output(
+            cover, input_names=input_names, name=name
+        )
+        return cls(function, steps=(f"from_sop({name or expression!r})",))
+
+    @classmethod
+    def from_pla(cls, source: str | Path, *, name: str = "") -> "Design":
+        """Parse PLA text, or a ``.pla`` file when given a path.
+
+        A :class:`~pathlib.Path` or a single-line string is read as a
+        file path; a string containing a newline is treated as inline
+        PLA text (valid PLA needs at least ``.i``/``.o`` directive
+        lines, so it can never be a single line).
+        """
+        text = str(source)
+        if isinstance(source, Path) or "\n" not in text:
+            path = Path(source)
+            text = path.read_text()
+            name = name or path.stem
+        function = parse_pla(text, name=name)
+        return cls(function, steps=(f"from_pla({function.name or '<text>'})",))
+
+    @classmethod
+    def from_benchmark(
+        cls, name: str, *, variant: str = "table2", seed: int = 0
+    ) -> "Design":
+        """Load a named benchmark circuit from :mod:`repro.circuits`."""
+        from repro.circuits.registry import get_benchmark
+
+        function = get_benchmark(name, variant=variant, seed=seed)
+        return cls(function, steps=(f"from_benchmark({name})",))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> BooleanFunction:
+        """The current implementation (post minimise/dual selection)."""
+        return self._function
+
+    @property
+    def steps(self) -> tuple[str, ...]:
+        """Human-readable record of the pipeline steps applied so far."""
+        return self._steps
+
+    @property
+    def dual_selection(self) -> DualSelection | None:
+        """The dual-selection outcome, once :meth:`choose_dual` ran."""
+        return self._dual_selection
+
+    @property
+    def extra_rows(self) -> int:
+        """Redundant rows beyond the optimum crossbar size."""
+        return self._extra_rows
+
+    @property
+    def extra_columns(self) -> int:
+        """Redundant (spare) columns beyond the optimum crossbar size."""
+        return self._extra_columns
+
+    def function_matrix(self) -> FunctionMatrix:
+        """The function matrix of the current implementation (cached —
+        the design is immutable, so it is built at most once)."""
+        if self._matrix is None:
+            self._matrix = FunctionMatrix(self._function)
+        return self._matrix
+
+    @property
+    def crossbar_shape(self) -> tuple[int, int]:
+        """Physical crossbar shape including redundancy, ``(rows, cols)``."""
+        matrix = self.function_matrix()
+        return (
+            matrix.num_rows + self._extra_rows,
+            matrix.num_columns + self._extra_columns,
+        )
+
+    @property
+    def area(self) -> int:
+        """Crossbar area (crosspoints) including redundancy."""
+        rows, columns = self.crossbar_shape
+        return rows * columns
+
+    def describe(self) -> str:
+        """Multi-line description of the pipeline state."""
+        rows, columns = self.crossbar_shape
+        lines = [
+            f"Design({self._function.name or '<anonymous>'}): "
+            f"I={self._function.num_inputs}, O={self._function.num_outputs}, "
+            f"P={self._function.num_products}",
+            f"  crossbar: {rows} x {columns} = {self.area} crosspoints",
+            "  steps: " + " -> ".join(self._steps),
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Design({self._function.name or '<anonymous>'}, "
+            f"steps={len(self._steps)})"
+        )
+
+    def _evolve(self, function: BooleanFunction, step: str, **overrides) -> "Design":
+        return Design(
+            function,
+            steps=(*self._steps, step),
+            dual_selection=overrides.get("dual_selection", self._dual_selection),
+            extra_rows=overrides.get("extra_rows", self._extra_rows),
+            extra_columns=overrides.get("extra_columns", self._extra_columns),
+        )
+
+    # ------------------------------------------------------------------
+    # Chaining steps
+    # ------------------------------------------------------------------
+    def minimize(self) -> "Design":
+        """Two-level minimisation of every output cover."""
+        return self._evolve(self._function.minimized(), "minimize")
+
+    def choose_dual(
+        self, *, minimize_complement: bool = True, complement_budget: int = 50_000
+    ) -> "Design":
+        """Map the cheaper of ``f`` and ``f̄`` (Algorithm 1, step 1)."""
+        selection = choose_dual(
+            self._function,
+            minimize_complement=minimize_complement,
+            complement_budget=complement_budget,
+        )
+        tag = "choose_dual[dual]" if selection.used_complement else "choose_dual[f]"
+        return self._evolve(
+            selection.implementation, tag, dual_selection=selection
+        )
+
+    def with_redundancy(self, *, rows: int = 0, columns: int = 0) -> "Design":
+        """Add redundant rows / spare columns to the crossbar."""
+        if rows < 0 or columns < 0:
+            raise ExperimentError("redundancy must be non-negative")
+        return self._evolve(
+            self._function,
+            f"with_redundancy({rows},{columns})",
+            extra_rows=rows,
+            extra_columns=columns,
+        )
+
+    def with_name(self, name: str) -> "Design":
+        """Rename the underlying circuit."""
+        return self._evolve(self._function.with_name(name), f"with_name({name})")
+
+    # ------------------------------------------------------------------
+    # Terminal steps
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        *,
+        defects: DefectMap | DefectProfile | float | None = None,
+        algorithm: str | Mapper = "hybrid",
+        seed: int = 0,
+        validate: bool = True,
+        **mapper_options,
+    ) -> "MappedDesign":
+        """Map the design onto one (possibly defective) crossbar.
+
+        Parameters
+        ----------
+        defects:
+            A pre-built :class:`DefectMap` (must match
+            :attr:`crossbar_shape`), a :class:`DefectProfile`, a plain
+            stuck-open rate, or ``None`` for a defect-free crossbar.
+        algorithm:
+            A registered mapper name (see
+            :func:`repro.api.registry.list_mappers`) or a mapper
+            instance; keyword ``mapper_options`` are forwarded to the
+            registry factory when a name is given.
+        seed:
+            Defect-injection seed (ignored for a pre-built map).
+        validate:
+            Run the (comparatively expensive) functional simulation
+            check in :meth:`MappedDesign.evaluate`; the cheap
+            matrix-level check always runs for successful mappings.
+        """
+        rows, columns = self.crossbar_shape
+        if isinstance(defects, DefectMap):
+            if (defects.rows, defects.columns) != (rows, columns):
+                raise ExperimentError(
+                    f"defect map is {defects.rows}x{defects.columns} but the "
+                    f"design needs a {rows}x{columns} crossbar "
+                    "(including redundancy)"
+                )
+            defect_map = defects
+        else:
+            profile = defects if defects is not None else 0.0
+            defect_map = inject_uniform(
+                rows, columns, profile, seed=derive_seed(seed, 0)
+            )
+
+        if isinstance(algorithm, str):
+            mapper = create_mapper(algorithm, **mapper_options)
+            algorithm_name = algorithm
+        else:
+            if mapper_options:
+                raise ExperimentError(
+                    "mapper options can only be combined with an algorithm name"
+                )
+            mapper = algorithm
+            algorithm_name = getattr(mapper, "algorithm_name", type(mapper).__name__)
+
+        matrix = self.function_matrix()
+        effective_map = defect_map
+        result: MappingResult | None = None
+        if self._extra_columns > 0:
+            from repro.experiments.monte_carlo import repair_spare_columns
+
+            repaired = repair_spare_columns(defect_map, matrix.num_columns)
+            if repaired is None:
+                result = MappingResult(
+                    success=False,
+                    algorithm=algorithm_name,
+                    failure_reason=(
+                        "too few usable columns remain after steering around "
+                        "stuck-closed spares"
+                    ),
+                )
+            else:
+                effective_map = repaired
+        if result is None:
+            result = mapper.map(matrix, CrossbarMatrix(effective_map))
+        if self._dual_selection is not None:
+            result.used_complement = self._dual_selection.used_complement
+
+        return MappedDesign(
+            design=self._evolve(self._function, f"map[{algorithm_name}]"),
+            defect_map=defect_map,
+            effective_map=effective_map,
+            result=result,
+            validate=validate,
+        )
+
+    def monte_carlo(
+        self,
+        *,
+        defect_rate: float = 0.10,
+        stuck_open_fraction: float = 1.0,
+        sample_size: int = 200,
+        algorithms: Sequence[str] | Mapping[str, Mapper] = ("hybrid", "exact"),
+        seed: int = 0,
+        validate: bool = True,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ):
+        """Run the Monte-Carlo protocol on this design (see
+        :func:`repro.experiments.monte_carlo.run_mapping_monte_carlo`).
+
+        The design's redundancy carries over; ``workers`` selects the
+        parallel batch engine (``None`` = auto).
+        """
+        from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+        return run_mapping_monte_carlo(
+            self._function,
+            defect_rate=defect_rate,
+            stuck_open_fraction=stuck_open_fraction,
+            sample_size=sample_size,
+            algorithms=algorithms,
+            seed=seed,
+            extra_rows=self._extra_rows,
+            extra_columns=self._extra_columns,
+            validate=validate,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+
+
+@dataclass
+class MappedDesign:
+    """A design mapped onto one concrete (possibly defective) crossbar.
+
+    Holds the live artefacts — the implementation actually mapped, the
+    injected defect map (``defect_map``), the column-repaired map the
+    mapper really saw (``effective_map``, identical unless spare columns
+    were in play) and the raw :class:`MappingResult`.
+    """
+
+    design: Design
+    defect_map: DefectMap
+    effective_map: DefectMap
+    result: MappingResult
+    validate: bool = True
+
+    @property
+    def success(self) -> bool:
+        """Whether the mapper found a defect-avoiding assignment."""
+        return self.result.success
+
+    def __bool__(self) -> bool:
+        return self.success
+
+    def evaluate(
+        self, *, functional_samples: int = 64, exhaustive_limit: int = 10
+    ) -> EvaluationResult:
+        """Validate the mapping and condense everything into a report."""
+        function = self.design.function
+        matrix = self.design.function_matrix()
+        valid = False
+        functionally_valid: bool | None = None
+        if self.result.success:
+            valid = validate_assignment(
+                matrix, CrossbarMatrix(self.effective_map), self.result
+            )
+            if self.validate:
+                functionally_valid = validate_functionally(
+                    function,
+                    self.effective_map,
+                    self.result,
+                    exhaustive_limit=exhaustive_limit,
+                    samples=functional_samples,
+                )
+        rows, columns = self.design.crossbar_shape
+        return EvaluationResult(
+            function_name=function.name or "<anonymous>",
+            algorithm=self.result.algorithm,
+            success=self.result.success,
+            valid_assignment=valid,
+            functionally_valid=functionally_valid,
+            used_complement=self.result.used_complement,
+            runtime_seconds=self.result.runtime_seconds,
+            rows=rows,
+            columns=columns,
+            area=rows * columns,
+            inclusion_ratio=matrix.inclusion_ratio(),
+            extra_rows=self.design.extra_rows,
+            extra_columns=self.design.extra_columns,
+            defect_count=len(self.defect_map),
+            defect_rate=self.defect_map.defect_rate(),
+            failure_reason=self.result.failure_reason,
+            steps=list(self.design.steps),
+        )
+
+    def summary(self) -> str:
+        """One-line summary of the underlying mapping result."""
+        return self.result.summary()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the mapped design."""
+        return {
+            "function": function_to_dict(self.design.function),
+            "steps": list(self.design.steps),
+            "extra_rows": self.design.extra_rows,
+            "extra_columns": self.design.extra_columns,
+            "defect_map": defect_map_to_dict(self.defect_map),
+            "result": self.result.to_dict(),
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MappedDesign":
+        """Rebuild a snapshot produced by :meth:`to_dict`.
+
+        The effective (column-repaired) map is not persisted; it is
+        re-derived from the defect map when spare columns are present.
+        """
+        function = function_from_dict(payload["function"])
+        design = Design(
+            function,
+            steps=tuple(payload.get("steps", ())),
+            extra_rows=payload.get("extra_rows", 0),
+            extra_columns=payload.get("extra_columns", 0),
+        )
+        defect_map = defect_map_from_dict(payload["defect_map"])
+        effective_map = defect_map
+        if design.extra_columns > 0:
+            from repro.experiments.monte_carlo import repair_spare_columns
+
+            repaired = repair_spare_columns(
+                defect_map, design.function_matrix().num_columns
+            )
+            if repaired is not None:
+                effective_map = repaired
+        return cls(
+            design=design,
+            defect_map=defect_map,
+            effective_map=effective_map,
+            result=MappingResult.from_dict(payload["result"]),
+            validate=payload.get("validate", True),
+        )

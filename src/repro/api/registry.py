@@ -1,0 +1,206 @@
+"""Pluggable mapper registry: one namespace for every mapping algorithm.
+
+The experiment harnesses used to hard-code ``{"hybrid": HybridMapper,
+...}`` factory dicts; third-party algorithms could only be injected by
+passing pre-built instances around.  The registry replaces those dicts
+with a single named namespace:
+
+* the built-in algorithms (``hybrid``, ``exact``, ``greedy``) are
+  pre-registered;
+* new algorithms register with the :func:`register_mapper` decorator and
+  immediately become resolvable *by name* everywhere — the fluent
+  :class:`repro.api.Design` pipeline, ``run_mapping_monte_carlo``,
+  Table II, the sweeps and the benchmarks;
+* :func:`resolve_mappers` converts whatever an experiment was given
+  (names, factories or ready instances) into labelled mapper instances.
+
+Example
+-------
+>>> from repro.api.registry import register_mapper
+>>> @register_mapper("always-fail")
+... class AlwaysFailMapper:
+...     algorithm_name = "always-fail"
+...     def map(self, function_matrix, crossbar):
+...         from repro.mapping.result import MappingResult
+...         return MappingResult(success=False, algorithm=self.algorithm_name,
+...                              failure_reason="refused")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import RegistryError
+from repro.mapping.exact import ExactMapper
+from repro.mapping.hybrid import GreedyMapper, HybridMapper
+from repro.mapping.result import MappingResult
+
+
+@runtime_checkable
+class Mapper(Protocol):
+    """Structural interface every mapping algorithm implements.
+
+    A mapper is any object with an ``algorithm_name`` label and a
+    ``map(function_matrix, crossbar) -> MappingResult`` method; the
+    built-in HBA/EA/greedy mappers satisfy it without inheriting from
+    anything.
+    """
+
+    algorithm_name: str
+
+    def map(self, function_matrix, crossbar) -> MappingResult:
+        """Attempt a defect-avoiding row assignment."""
+        ...
+
+
+#: A zero-argument (or keyword-only) callable producing a fresh mapper.
+MapperFactory = Callable[..., Mapper]
+
+
+class MapperRegistry:
+    """A named registry of mapper factories.
+
+    Most code uses the module-level default registry through
+    :func:`register_mapper` / :func:`create_mapper`; separate instances
+    exist so tests (and embedders) can build isolated namespaces.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, MapperFactory] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: MapperFactory | None = None,
+        *,
+        override: bool = False,
+    ):
+        """Register a mapper factory, usable directly or as a decorator.
+
+        Parameters
+        ----------
+        name:
+            Public algorithm name (``algorithms=("hybrid", name)`` etc.).
+        factory:
+            Class or zero-argument callable returning a mapper.  Omit it
+            to use the function as a decorator.
+        override:
+            Allow replacing an existing registration; without it a
+            duplicate name raises :class:`RegistryError` so two plugins
+            cannot silently shadow each other.
+        """
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"mapper name must be a non-empty string, got {name!r}")
+
+        def _register(target: MapperFactory) -> MapperFactory:
+            if not callable(target):
+                raise RegistryError(
+                    f"mapper factory for {name!r} must be callable, got {target!r}"
+                )
+            if name in self._factories and not override:
+                raise RegistryError(
+                    f"mapper {name!r} is already registered; pass override=True "
+                    "to replace it"
+                )
+            self._factories[name] = target
+            return target
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (unknown names raise)."""
+        if name not in self._factories:
+            raise RegistryError(self._unknown_message(name))
+        del self._factories[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered algorithm names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def factory(self, name: str) -> MapperFactory:
+        """The registered factory for a name."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise RegistryError(self._unknown_message(name)) from None
+
+    def create(self, name: str, **kwargs) -> Mapper:
+        """Instantiate a registered mapper, forwarding keyword options."""
+        mapper = self.factory(name)(**kwargs)
+        if not hasattr(mapper, "map"):
+            raise RegistryError(
+                f"factory for {name!r} returned {mapper!r}, which has no "
+                "map() method"
+            )
+        return mapper
+
+    def resolve(
+        self, algorithms: Sequence[str] | Mapping[str, Mapper]
+    ) -> dict[str, Mapper]:
+        """Turn an experiment's ``algorithms`` argument into instances.
+
+        Accepts a sequence of registered names or a mapping
+        ``{label: mapper instance}`` (labels are free-form; instances are
+        used as-is).  Returns an insertion-ordered ``{label: mapper}``.
+        """
+        if isinstance(algorithms, Mapping):
+            return dict(algorithms)
+        resolved: dict[str, Mapper] = {}
+        for name in algorithms:
+            resolved[name] = self.create(name)
+        return resolved
+
+    def _unknown_message(self, name: str) -> str:
+        return (
+            f"unknown algorithm {name!r}; registered mappers are "
+            f"{self.names()} (add new ones with repro.api.register_mapper)"
+        )
+
+
+#: The process-wide default registry used by experiments and pipelines.
+default_registry = MapperRegistry()
+
+default_registry.register("hybrid", HybridMapper)
+default_registry.register("exact", ExactMapper)
+default_registry.register("greedy", GreedyMapper)
+
+
+def register_mapper(
+    name: str, factory: MapperFactory | None = None, *, override: bool = False
+):
+    """Register a mapper in the default registry (decorator-friendly)."""
+    return default_registry.register(name, factory, override=override)
+
+
+def unregister_mapper(name: str) -> None:
+    """Remove a mapper from the default registry."""
+    default_registry.unregister(name)
+
+
+def create_mapper(name: str, **kwargs) -> Mapper:
+    """Instantiate a mapper from the default registry by name."""
+    return default_registry.create(name, **kwargs)
+
+
+def list_mappers() -> list[str]:
+    """Names registered in the default registry, sorted."""
+    return default_registry.names()
+
+
+def resolve_mappers(
+    algorithms: Sequence[str] | Mapping[str, Mapper],
+) -> dict[str, Mapper]:
+    """Resolve names/instances against the default registry."""
+    return default_registry.resolve(algorithms)

@@ -1,0 +1,150 @@
+"""Serializable result objects and converters for the fluent pipeline.
+
+Every object the :class:`repro.api.Design` pipeline hands back can be
+round-tripped through plain JSON-safe dicts so pipeline outputs can be
+cached, shipped between processes or archived next to experiment logs:
+
+* :class:`EvaluationResult` — the terminal report of
+  ``Design.map(...).evaluate()``;
+* :func:`function_to_dict` / :func:`function_from_dict` — a
+  :class:`~repro.boolean.function.BooleanFunction` as PLA-style cubes;
+* :func:`defect_map_to_dict` / :func:`defect_map_from_dict` — a
+  :class:`~repro.defects.defect_map.DefectMap` as coordinate triples.
+
+``MappingResult`` and ``MonteCarloResult`` carry their own
+``to_dict``/``from_dict`` in their home modules; this module only adds
+what the pipeline layer introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction, Product
+from repro.defects.defect_map import DefectMap
+from repro.defects.types import Defect, DefectType
+from repro.exceptions import ExperimentError
+
+
+# ----------------------------------------------------------------------
+# BooleanFunction <-> dict
+# ----------------------------------------------------------------------
+def function_to_dict(function: BooleanFunction) -> dict:
+    """A JSON-safe description of a multi-output function."""
+    return {
+        "name": function.name,
+        "input_names": list(function.input_names),
+        "output_names": list(function.output_names),
+        "products": [
+            {"cube": product.cube.to_string(), "outputs": sorted(product.outputs)}
+            for product in function.products
+        ],
+    }
+
+
+def function_from_dict(payload: dict) -> BooleanFunction:
+    """Rebuild a function serialized by :func:`function_to_dict`."""
+    products = [
+        Product(Cube.from_string(entry["cube"]), frozenset(entry["outputs"]))
+        for entry in payload["products"]
+    ]
+    return BooleanFunction(
+        payload["input_names"],
+        payload["output_names"],
+        products,
+        name=payload.get("name", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# DefectMap <-> dict
+# ----------------------------------------------------------------------
+def defect_map_to_dict(defect_map: DefectMap) -> dict:
+    """A JSON-safe description of a defect map."""
+    return {
+        "rows": defect_map.rows,
+        "columns": defect_map.columns,
+        "defects": [
+            [defect.row, defect.column, defect.kind.value]
+            for defect in sorted(defect_map, key=lambda d: (d.row, d.column))
+        ],
+    }
+
+
+def defect_map_from_dict(payload: dict) -> DefectMap:
+    """Rebuild a defect map serialized by :func:`defect_map_to_dict`."""
+    defects = [
+        Defect(row, column, DefectType(kind))
+        for row, column, kind in payload["defects"]
+    ]
+    return DefectMap(payload["rows"], payload["columns"], defects)
+
+
+# ----------------------------------------------------------------------
+# Pipeline evaluation report
+# ----------------------------------------------------------------------
+@dataclass
+class EvaluationResult:
+    """Terminal report of one fluent pipeline run.
+
+    Combines the mapping outcome with the design metrics (area,
+    inclusion ratio, redundancy) and the two validation verdicts:
+    ``valid_assignment`` is the matrix-level check the paper's
+    algorithms use internally, ``functionally_valid`` simulates the
+    permuted layout on the defective array (``None`` when the functional
+    check was skipped or the mapping failed).
+    """
+
+    function_name: str
+    algorithm: str
+    success: bool
+    valid_assignment: bool
+    functionally_valid: bool | None
+    used_complement: bool
+    runtime_seconds: float
+    rows: int
+    columns: int
+    area: int
+    inclusion_ratio: float
+    extra_rows: int
+    extra_columns: int
+    defect_count: int
+    defect_rate: float
+    failure_reason: str = ""
+    steps: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Mapping succeeded and passed every validation that ran."""
+        return (
+            self.success
+            and self.valid_assignment
+            and self.functionally_valid is not False
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "OK" if self.ok else f"FAIL ({self.failure_reason or 'invalid'})"
+        dual = " [dual]" if self.used_complement else ""
+        return (
+            f"{self.function_name} via {self.algorithm}: {status}{dual}, "
+            f"{self.rows}x{self.columns} crossbar, "
+            f"{self.defect_count} defects ({self.defect_rate:.1%}), "
+            f"time={self.runtime_seconds * 1e3:.2f} ms"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvaluationResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown EvaluationResult fields {sorted(unknown)}"
+            )
+        return cls(**payload)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.boolean.cover import Cover
-from repro.boolean.cube import DONT_CARE, Cube
+from repro.boolean.cube import Cube
 from repro.exceptions import BooleanFunctionError
 
 

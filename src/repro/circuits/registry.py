@@ -18,7 +18,6 @@ from repro.boolean.function import BooleanFunction
 from repro.circuits.generators import exact_benchmark
 from repro.circuits.specs import (
     BenchmarkSpec,
-    TABLE1_SPECS,
     TABLE2_SPECS,
     all_table1_names,
     all_table2_names,

@@ -16,7 +16,6 @@ from repro.crossbar.device import (
     DeviceMode,
     DeviceParameters,
     Memristor,
-    ResistiveState,
 )
 from repro.exceptions import CrossbarError
 

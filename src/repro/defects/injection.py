@@ -147,8 +147,16 @@ def defect_maps_for_monte_carlo(
     *,
     seed: int = 0,
 ) -> list[DefectMap]:
-    """A reproducible batch of defect maps for a Monte-Carlo experiment."""
+    """A reproducible batch of defect maps for a Monte-Carlo experiment.
+
+    Per-sample seeds come from the hash-based stream of
+    :func:`repro.api.seeding.derive_seed`, so distinct ``(seed, index)``
+    pairs can never alias (the old affine ``seed * K + index`` scheme
+    collided whenever two pairs hit the same lattice point).
+    """
+    from repro.api.seeding import derive_seed
+
     return [
-        inject_uniform(rows, columns, profile, seed=seed * 99_991 + index)
+        inject_uniform(rows, columns, profile, seed=derive_seed(seed, index))
         for index in range(sample_size)
     ]

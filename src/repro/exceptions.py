@@ -55,3 +55,13 @@ class BenchmarkError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class RegistryError(ExperimentError):
+    """A mapper-registry lookup or registration failed.
+
+    Subclasses :class:`ExperimentError` because registry misuse most
+    often surfaces while configuring an experiment (an unknown algorithm
+    name, a duplicate registration); existing callers catching
+    :class:`ExperimentError` keep working.
+    """

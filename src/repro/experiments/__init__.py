@@ -28,9 +28,9 @@ from repro.experiments.figure6 import (
     run_figure6,
 )
 from repro.experiments.monte_carlo import (
-    ALGORITHM_FACTORIES,
     AlgorithmOutcome,
     MonteCarloResult,
+    repair_spare_columns,
     run_mapping_monte_carlo,
 )
 from repro.experiments.redundancy import (
@@ -79,7 +79,7 @@ __all__ = [
     "run_mapping_monte_carlo",
     "MonteCarloResult",
     "AlgorithmOutcome",
-    "ALGORITHM_FACTORIES",
+    "repair_spare_columns",
     "run_defect_sweep",
     "DefectSweepResult",
     "SweepPoint",

@@ -68,8 +68,13 @@ def run_defect_sweep(
     sample_size: int = 100,
     algorithms: tuple[str, ...] = ("hybrid", "exact"),
     seed: int = 0,
+    workers: int | None = None,
 ) -> DefectSweepResult:
-    """Sweep the defect rate for one circuit (name or function)."""
+    """Sweep the defect rate for one circuit (name or function).
+
+    ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
+    auto).
+    """
     if isinstance(function, str):
         function = get_benchmark(function)
     result = DefectSweepResult(
@@ -82,6 +87,7 @@ def run_defect_sweep(
             sample_size=sample_size,
             algorithms=algorithms,
             seed=seed,
+            workers=workers,
         )
         point = SweepPoint(
             defect_rate=rate,

@@ -6,22 +6,42 @@ run one or more mapping algorithms on each, and report per-algorithm
 success rates and runtimes.  :func:`run_mapping_monte_carlo` implements
 that protocol once so Table II, the defect-rate sweep and the redundancy
 study are thin wrappers around it.
+
+Execution engine
+----------------
+The sample stream is split into chunks and executed by
+:class:`repro.api.batch.BatchRunner` — serially (``workers=1``), on a
+``ProcessPoolExecutor`` (``workers=N``) or auto-sized (``workers=None``,
+the default: CPU count, staying serial for small batches and single-core
+machines).  Every sample's defect map is seeded by
+:func:`repro.api.seeding.derive_seed` from its *global* index, and the
+per-chunk :class:`AlgorithmOutcome` partials are merged in chunk order,
+so the counting statistics (samples, successes, backtracks, invalid
+mappings — and therefore every success rate) are identical for any
+worker count.  Only the wall-clock runtime fields vary run to run, as
+they always have.
+
+Algorithms are resolved by name through :mod:`repro.api.registry`;
+register new mappers with :func:`repro.api.register_mapper` and they are
+immediately usable here (and in every wrapper) by name.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro.api.batch import BatchRunner, chunk_ranges
+from repro.api.registry import Mapper, resolve_mappers
+from repro.api.seeding import derive_seed
 from repro.boolean.function import BooleanFunction
+from repro.defects.defect_map import DefectMap
 from repro.defects.injection import inject_uniform
 from repro.defects.types import DefectProfile
 from repro.exceptions import ExperimentError
 from repro.mapping.crossbar_matrix import CrossbarMatrix
-from repro.mapping.exact import ExactMapper
 from repro.mapping.function_matrix import FunctionMatrix
-from repro.mapping.hybrid import GreedyMapper, HybridMapper
 from repro.mapping.validate import validate_assignment
 
 
@@ -50,6 +70,28 @@ class AlgorithmOutcome:
             return 0.0
         return self.total_runtime / self.samples
 
+    def merge(self, other: "AlgorithmOutcome") -> None:
+        """Fold another partial outcome of the same algorithm into this one."""
+        if other.algorithm != self.algorithm:
+            raise ExperimentError(
+                f"cannot merge outcome of {other.algorithm!r} into "
+                f"{self.algorithm!r}"
+            )
+        self.successes += other.successes
+        self.samples += other.samples
+        self.total_runtime += other.total_runtime
+        self.total_backtracks += other.total_backtracks
+        self.invalid_mappings += other.invalid_mappings
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AlgorithmOutcome":
+        """Rebuild an outcome serialized by :meth:`to_dict`."""
+        return cls(**payload)
+
 
 @dataclass
 class MonteCarloResult:
@@ -60,23 +102,100 @@ class MonteCarloResult:
     sample_size: int
     outcomes: dict[str, AlgorithmOutcome] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    workers: int = 1
 
     def outcome(self, algorithm: str) -> AlgorithmOutcome:
         """Aggregated outcome of one algorithm."""
-        return self.outcomes[algorithm]
+        try:
+            return self.outcomes[algorithm]
+        except KeyError:
+            raise ExperimentError(
+                f"no outcome for algorithm {algorithm!r}; this experiment ran "
+                f"{sorted(self.outcomes)}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "function_name": self.function_name,
+            "defect_rate": self.defect_rate,
+            "sample_size": self.sample_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "workers": self.workers,
+            "outcomes": {
+                name: outcome.to_dict() for name, outcome in self.outcomes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MonteCarloResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            function_name=payload["function_name"],
+            defect_rate=payload["defect_rate"],
+            sample_size=payload["sample_size"],
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            workers=payload.get("workers", 1),
+            outcomes={
+                name: AlgorithmOutcome.from_dict(entry)
+                for name, entry in payload["outcomes"].items()
+            },
+        )
 
 
-#: Default algorithm factory map used by the experiments.
-DEFAULT_ALGORITHMS = {
-    "hybrid": HybridMapper,
-    "exact": ExactMapper,
-}
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Picklable description of one chunk of the sample stream.
 
-ALGORITHM_FACTORIES = {
-    "hybrid": HybridMapper,
-    "exact": ExactMapper,
-    "greedy": GreedyMapper,
-}
+    Carries resolved mapper *instances* rather than registry names so
+    pool workers never need the parent's registry state — a mapper
+    registered at runtime works under any multiprocessing start method
+    as long as its class is picklable.
+    """
+
+    function: BooleanFunction
+    profile: DefectProfile
+    rows: int
+    columns: int
+    required_columns: int
+    mappers: dict[str, Mapper]
+    seed: int
+    start: int
+    stop: int
+    validate: bool
+
+
+def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
+    """Map every sample of one chunk; pure function of the task."""
+    function_matrix = FunctionMatrix(task.function)
+    mappers = task.mappers
+    outcomes = {name: AlgorithmOutcome(algorithm=name) for name in mappers}
+    spare_columns = task.columns > task.required_columns
+    for sample in range(task.start, task.stop):
+        defect_map = inject_uniform(
+            task.rows, task.columns, task.profile, seed=derive_seed(task.seed, sample)
+        )
+        if spare_columns:
+            defect_map = repair_spare_columns(defect_map, task.required_columns)
+            if defect_map is None:
+                for outcome in outcomes.values():
+                    outcome.samples += 1
+                continue
+        crossbar_matrix = CrossbarMatrix(defect_map)
+        for name, mapper in mappers.items():
+            outcome = outcomes[name]
+            mapping = mapper.map(function_matrix, crossbar_matrix)
+            outcome.samples += 1
+            outcome.total_runtime += mapping.runtime_seconds
+            outcome.total_backtracks += mapping.statistics.backtracks
+            if mapping.success:
+                if task.validate and not validate_assignment(
+                    function_matrix, crossbar_matrix, mapping
+                ):
+                    outcome.invalid_mappings += 1
+                else:
+                    outcome.successes += 1
+    return outcomes
 
 
 def run_mapping_monte_carlo(
@@ -85,11 +204,13 @@ def run_mapping_monte_carlo(
     defect_rate: float = 0.10,
     stuck_open_fraction: float = 1.0,
     sample_size: int = 200,
-    algorithms: Sequence[str] | Mapping[str, object] = ("hybrid", "exact"),
+    algorithms: Sequence[str] | Mapping[str, Mapper] = ("hybrid", "exact"),
     seed: int = 0,
     extra_rows: int = 0,
     extra_columns: int = 0,
     validate: bool = True,
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> MonteCarloResult:
     """Run the paper's Monte-Carlo mapping protocol on one function.
 
@@ -103,13 +224,27 @@ def run_mapping_monte_carlo(
     sample_size:
         Number of random defective crossbars (the paper uses 200).
     algorithms:
-        Algorithm names from ``{"hybrid", "exact", "greedy"}`` or a
-        mapping ``{label: mapper instance}``.
+        Registered algorithm names (see
+        :func:`repro.api.registry.list_mappers`) or a mapping
+        ``{label: mapper instance}``.  Mapper instances must be
+        stateless across ``map()`` calls (the built-ins are): with
+        ``workers > 1`` every chunk receives an independent pickled
+        copy, so state carried between samples would diverge from the
+        serial run and void the determinism guarantee.
     extra_rows / extra_columns:
         Redundant lines beyond the optimum size (0 = the paper's setup).
     validate:
         Double-check every successful mapping at the matrix level and
         count violations separately (should always be zero).
+    workers:
+        ``1`` = serial, ``N`` = process pool of that size, ``None``
+        (default) = auto.  The counting statistics are identical for
+        every choice; only wall-clock time changes.  Auto mode gates on
+        batch *size*, not per-sample cost — for small circuits whose
+        whole batch maps in milliseconds, pool start-up dominates and
+        ``workers=1`` is faster.
+    chunk_size:
+        Samples per chunk (default: auto, ~4 chunks per worker).
     """
     if sample_size <= 0:
         raise ExperimentError("sample_size must be positive")
@@ -118,57 +253,48 @@ def run_mapping_monte_carlo(
     columns = function_matrix.num_columns + extra_columns
     profile = DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
 
-    if isinstance(algorithms, Mapping):
-        mappers = dict(algorithms)
-    else:
-        mappers = {}
-        for name in algorithms:
-            if name not in ALGORITHM_FACTORIES:
-                raise ExperimentError(
-                    f"unknown algorithm {name!r}; expected one of "
-                    f"{sorted(ALGORITHM_FACTORIES)}"
-                )
-            mappers[name] = ALGORITHM_FACTORIES[name]()
+    # Resolve eagerly so configuration errors surface before any work
+    # (and before a process pool spins up).
+    mappers = resolve_mappers(algorithms)
+
+    runner = BatchRunner(workers)
+    plan = runner.plan(sample_size, chunk_size)
+    tasks = [
+        _ChunkTask(
+            function=function,
+            profile=profile,
+            rows=rows,
+            columns=columns,
+            required_columns=function_matrix.num_columns,
+            mappers=mappers,
+            seed=seed,
+            start=chunk.start,
+            stop=chunk.stop,
+            validate=validate,
+        )
+        for chunk in chunk_ranges(sample_size, plan.chunk_size)
+    ]
 
     result = MonteCarloResult(
         function_name=function.name or "<anonymous>",
         defect_rate=defect_rate,
         sample_size=sample_size,
         outcomes={name: AlgorithmOutcome(algorithm=name) for name in mappers},
+        workers=plan.workers,
     )
 
     start = time.perf_counter()
-    for sample in range(sample_size):
-        defect_map = inject_uniform(
-            rows, columns, profile, seed=seed * 1_000_003 + sample
-        )
-        if extra_columns > 0:
-            defect_map = _repair_columns(
-                defect_map, function_matrix.num_columns
-            )
-            if defect_map is None:
-                for outcome in result.outcomes.values():
-                    outcome.samples += 1
-                continue
-        crossbar_matrix = CrossbarMatrix(defect_map)
-        for name, mapper in mappers.items():
-            outcome = result.outcomes[name]
-            mapping = mapper.map(function_matrix, crossbar_matrix)
-            outcome.samples += 1
-            outcome.total_runtime += mapping.runtime_seconds
-            outcome.total_backtracks += mapping.statistics.backtracks
-            if mapping.success:
-                if validate and not validate_assignment(
-                    function_matrix, crossbar_matrix, mapping
-                ):
-                    outcome.invalid_mappings += 1
-                else:
-                    outcome.successes += 1
+    for partial in runner.run(_run_chunk, tasks, total_items=sample_size):
+        for name, outcome in partial.items():
+            result.outcomes[name].merge(outcome)
     result.elapsed_seconds = time.perf_counter() - start
+    result.workers = runner.last_run_workers or 1
     return result
 
 
-def _repair_columns(defect_map, required_columns: int):
+def repair_spare_columns(
+    defect_map: DefectMap, required_columns: int
+) -> DefectMap | None:
     """Steer the design onto the best functional columns (spares present).
 
     Columns poisoned by stuck-closed defects are skipped; among the

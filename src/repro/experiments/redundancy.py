@@ -108,8 +108,14 @@ def run_redundancy_analysis(
     sample_size: int = 100,
     algorithms: tuple[str, ...] = ("hybrid", "exact"),
     seed: int = 0,
+    workers: int | None = None,
 ) -> RedundancyResult:
-    """Measure yield as a function of added redundant rows/columns."""
+    """Measure yield as a function of added redundant rows/columns.
+
+    ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
+    auto); each redundancy level's sample stream is parallelised
+    independently.
+    """
     if isinstance(function, str):
         function = get_benchmark(function)
     if not 0.0 <= stuck_open_fraction <= 1.0:
@@ -135,6 +141,7 @@ def run_redundancy_analysis(
             seed=seed,
             extra_rows=extra_rows,
             extra_columns=extra_columns,
+            workers=workers,
         )
         redundant_area = (function_matrix.num_rows + extra_rows) * (
             function_matrix.num_columns + extra_columns

@@ -130,6 +130,7 @@ def run_table2_row(
     sample_size: int = 200,
     seed: int = 0,
     algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    workers: int | None = None,
 ) -> Table2Row:
     """Run the Monte-Carlo protocol for one circuit and collect a row."""
     function_matrix = FunctionMatrix(function)
@@ -139,6 +140,7 @@ def run_table2_row(
         sample_size=sample_size,
         algorithms=algorithms,
         seed=seed,
+        workers=workers,
     )
     hba = monte_carlo.outcome("hybrid")
     ea = monte_carlo.outcome("exact") if "exact" in monte_carlo.outcomes else hba
@@ -169,8 +171,13 @@ def run_table2(
     sample_size: int = 200,
     seed: int = 0,
     variant: str = "table2",
+    workers: int | None = None,
 ) -> Table2Result:
-    """Regenerate Table II for the given benchmarks (default: all 16)."""
+    """Regenerate Table II for the given benchmarks (default: all 16).
+
+    ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
+    auto); each row's sample stream is parallelised independently.
+    """
     names = benchmark_names or all_table2_names()
     result = Table2Result(defect_rate=defect_rate, sample_size=sample_size)
     for name in names:
@@ -184,6 +191,7 @@ def run_table2(
             defect_rate=defect_rate,
             sample_size=sample_size,
             seed=seed,
+            workers=workers,
         )
         row.name = name if not spec.dual_selected else f"{name}*"
         result.rows.append(row)

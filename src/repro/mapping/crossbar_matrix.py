@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defects.defect_map import DefectMap
-from repro.defects.types import DefectType
 from repro.exceptions import MappingError
 
 

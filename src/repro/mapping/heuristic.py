@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mapping.crossbar_matrix import CrossbarMatrix
-from repro.mapping.matching import rows_compatible
 from repro.mapping.result import MappingStatistics
 
 

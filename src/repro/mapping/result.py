@@ -16,6 +16,28 @@ class MappingStatistics:
     assignment_size: tuple[int, int] | None = None
     matching_matrix_entries: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "compatibility_checks": self.compatibility_checks,
+            "backtracks": self.backtracks,
+            "assignment_size": (
+                list(self.assignment_size) if self.assignment_size else None
+            ),
+            "matching_matrix_entries": self.matching_matrix_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MappingStatistics":
+        """Rebuild statistics serialized by :meth:`to_dict`."""
+        size = payload.get("assignment_size")
+        return cls(
+            compatibility_checks=payload.get("compatibility_checks", 0),
+            backtracks=payload.get("backtracks", 0),
+            assignment_size=tuple(size) if size else None,
+            matching_matrix_entries=payload.get("matching_matrix_entries", 0),
+        )
+
 
 @dataclass
 class MappingResult:
@@ -84,4 +106,41 @@ class MappingResult:
             f"{self.algorithm}: {status}{dual}, rows={len(self.row_assignment)}, "
             f"time={self.runtime_seconds * 1e3:.2f} ms, "
             f"backtracks={self.statistics.backtracks}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation.
+
+        The row assignment is stored as sorted ``[function_row,
+        crossbar_row]`` pairs because JSON object keys must be strings.
+        """
+        return {
+            "success": self.success,
+            "algorithm": self.algorithm,
+            "row_assignment": sorted(
+                [fm_row, cm_row] for fm_row, cm_row in self.row_assignment.items()
+            ),
+            "failure_reason": self.failure_reason,
+            "runtime_seconds": self.runtime_seconds,
+            "used_complement": self.used_complement,
+            "statistics": self.statistics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MappingResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            success=payload["success"],
+            algorithm=payload["algorithm"],
+            row_assignment={
+                int(fm_row): int(cm_row)
+                for fm_row, cm_row in payload.get("row_assignment", [])
+            },
+            failure_reason=payload.get("failure_reason", ""),
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+            used_complement=payload.get("used_complement", False),
+            statistics=MappingStatistics.from_dict(payload.get("statistics", {})),
         )

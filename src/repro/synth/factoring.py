@@ -18,7 +18,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.boolean.cover import Cover
-from repro.boolean.cube import DONT_CARE, NEGATIVE, POSITIVE, Cube
+from repro.boolean.cube import NEGATIVE, POSITIVE, Cube
 from repro.exceptions import SynthesisError
 
 

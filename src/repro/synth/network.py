@@ -19,7 +19,7 @@ module turns into such a layout:
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import SynthesisError
 from repro.synth.signals import GateRef, Literal, Signal, is_gate, signal_sort_key

@@ -9,7 +9,6 @@ identical gates across outputs.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.boolean.function import BooleanFunction

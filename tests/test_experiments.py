@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.boolean import BooleanFunction, parse_sop
 from repro.circuits import get_benchmark
 from repro.exceptions import ExperimentError
 from repro.experiments.defect_sweep import run_defect_sweep

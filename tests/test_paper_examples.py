@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.boolean import BooleanFunction, parse_sop
 from repro.crossbar import (
     MultiLevelDesign,
     TwoLevelDesign,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.boolean import BooleanFunction, parse_sop
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.controller import CrossbarController
 from repro.crossbar.device import DeviceMode

@@ -19,7 +19,6 @@ from repro.synth.decompose import (
 from repro.synth.factoring import (
     FactorAnd,
     FactorLiteral,
-    FactorOr,
     factor_tree_literals,
     factored_expression,
     quick_factor,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.boolean.cover import Cover
-from repro.boolean.function import BooleanFunction
 from repro.boolean.random_functions import (
     RandomFunctionSpec,
     random_cover,
