@@ -28,7 +28,14 @@ package is organised by substrate:
 The most common entry points are re-exported here.
 """
 
+from repro.api.artifacts import ArtifactStore
 from repro.api.batch import BatchRunner
+from repro.api.defect_models import (
+    DefectModel,
+    create_defect_model,
+    list_defect_models,
+    register_defect_model,
+)
 from repro.api.pipeline import Design, MappedDesign
 from repro.api.registry import (
     Mapper,
@@ -38,6 +45,8 @@ from repro.api.registry import (
     register_mapper,
 )
 from repro.api.results import EvaluationResult
+from repro.api.runner import ScenarioResult, SuiteResult, run_scenario, run_suite
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.api.seeding import derive_seed
 from repro.boolean import BooleanFunction, Cover, Cube, parse_pla, parse_sop
 from repro.circuits import get_benchmark, list_benchmarks
@@ -73,7 +82,7 @@ from repro.mapping import (
 )
 from repro.synth import NandNetwork, best_network, technology_map
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -86,6 +95,18 @@ __all__ = [
     "register_mapper",
     "create_mapper",
     "list_mappers",
+    "DefectModel",
+    "register_defect_model",
+    "create_defect_model",
+    "list_defect_models",
+    "FunctionSource",
+    "Scenario",
+    "ScenarioSuite",
+    "ScenarioResult",
+    "SuiteResult",
+    "run_scenario",
+    "run_suite",
+    "ArtifactStore",
     "BatchRunner",
     "derive_seed",
     "Cube",

@@ -7,7 +7,15 @@ Three pieces compose into one discoverable surface:
   .map(defects=0.10).evaluate()``) in :mod:`repro.api.pipeline`;
 * the pluggable mapper registry (:func:`register_mapper`,
   :func:`list_mappers`, :func:`create_mapper`) in
-  :mod:`repro.api.registry`;
+  :mod:`repro.api.registry` and its defect-model counterpart
+  (:func:`register_defect_model`, :class:`DefectModel`) in
+  :mod:`repro.api.defect_models`;
+* the declarative scenario layer — serializable :class:`Scenario` /
+  :class:`ScenarioSuite` specs (:mod:`repro.api.scenarios`), the
+  unified :func:`run_scenario` / :func:`run_suite` runner
+  (:mod:`repro.api.runner`) and the content-hash-keyed JSONL
+  :class:`ArtifactStore` cache (:mod:`repro.api.artifacts`) behind
+  ``python -m repro run``;
 * the parallel batch engine (:class:`BatchRunner`) and the
   collision-free seed streams (:func:`derive_seed`) in
   :mod:`repro.api.batch` / :mod:`repro.api.seeding` that power
@@ -34,6 +42,25 @@ _EXPORTS = {
     "create_mapper": "repro.api.registry",
     "list_mappers": "repro.api.registry",
     "resolve_mappers": "repro.api.registry",
+    # defect models
+    "DefectModel": "repro.api.defect_models",
+    "DefectModelRegistry": "repro.api.defect_models",
+    "register_defect_model": "repro.api.defect_models",
+    "unregister_defect_model": "repro.api.defect_models",
+    "create_defect_model": "repro.api.defect_models",
+    "list_defect_models": "repro.api.defect_models",
+    "resolve_defect_model": "repro.api.defect_models",
+    # scenarios
+    "FunctionSource": "repro.api.scenarios",
+    "Scenario": "repro.api.scenarios",
+    "ScenarioSuite": "repro.api.scenarios",
+    # runner + artifacts
+    "ScenarioResult": "repro.api.runner",
+    "SuiteResult": "repro.api.runner",
+    "run_scenario": "repro.api.runner",
+    "run_suite": "repro.api.runner",
+    "ArtifactStore": "repro.api.artifacts",
+    "ArtifactRecord": "repro.api.artifacts",
     # batch engine
     "BatchRunner": "repro.api.batch",
     "BatchPlan": "repro.api.batch",

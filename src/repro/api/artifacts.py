@@ -1,0 +1,147 @@
+"""Append-only JSONL artifact store for scenario results.
+
+One store is one JSONL file.  Every scenario run appends three kinds of
+records, all keyed by the scenario's :meth:`Scenario.content_hash`:
+
+* ``{"kind": "begin", "hash": h, "spec": {...}}`` — the full spec, so an
+  artifact file is self-describing;
+* ``{"kind": "row", "hash": h, "index": i, "data": {...}}`` — one result
+  row, streamed as soon as it is computed (a killed run leaves the rows
+  it finished);
+* ``{"kind": "end", "hash": h, "rows": n, ...}`` — the completion marker.
+
+A scenario is *cached* when its latest ``begin`` is followed by an
+``end`` whose row count matches the rows seen.  Re-running with
+``force=True`` simply appends a fresh block; the scan keeps the latest
+complete block per hash, so the file doubles as a run log.
+
+The format is deliberately line-oriented: artifacts can be grepped,
+``tail -f``'d during long campaigns, concatenated across machines and
+post-processed with ``jq`` without any repro code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ArtifactRecord:
+    """One scenario's decoded block: spec, streamed rows, completion meta."""
+
+    spec_hash: str
+    spec: dict
+    rows: list = field(default_factory=list)
+    complete: bool = False
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+
+
+class ArtifactStore:
+    """A JSONL file of scenario artifacts, keyed by spec content hash."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._scan_key: tuple[int, int] | None = None
+        self._scan_cache: dict[str, ArtifactRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def scan(self) -> dict[str, ArtifactRecord]:
+        """Decode the store into ``{hash: latest record}``.
+
+        Malformed lines (e.g. a truncated final line from a killed run)
+        are skipped rather than poisoning the whole store.  The decoded
+        result is cached against the file's ``(mtime_ns, size)`` so an
+        all-cached suite re-run parses a long-lived store once, not once
+        per scenario; treat the returned records as read-only.
+        """
+        try:
+            stat = self.path.stat()
+        except OSError:
+            self._scan_key = None
+            self._scan_cache = {}
+            return {}
+        key = (stat.st_mtime_ns, stat.st_size)
+        if key == self._scan_key:
+            return self._scan_cache
+        records: dict[str, ArtifactRecord] = {}
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                kind = entry.get("kind")
+                spec_hash = entry.get("hash")
+                if not spec_hash:
+                    continue
+                if kind == "begin":
+                    records[spec_hash] = ArtifactRecord(
+                        spec_hash=spec_hash, spec=entry.get("spec", {})
+                    )
+                elif kind == "row":
+                    record = records.get(spec_hash)
+                    if record is not None and not record.complete:
+                        record.rows.append(entry.get("data"))
+                elif kind == "end":
+                    record = records.get(spec_hash)
+                    if record is not None and len(record.rows) == entry.get("rows"):
+                        record.complete = True
+                        record.elapsed_seconds = entry.get("elapsed_seconds", 0.0)
+                        record.workers = entry.get("workers", 1)
+        self._scan_key = key
+        self._scan_cache = records
+        return records
+
+    def load(self, spec_hash: str) -> ArtifactRecord | None:
+        """The latest *complete* record for a hash, or ``None``."""
+        record = self.scan().get(spec_hash)
+        if record is not None and record.complete:
+            return record
+        return None
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.load(spec_hash) is not None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, entry: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    def begin(self, spec_hash: str, spec: dict) -> None:
+        """Open a new block for a scenario (invalidates prior rows)."""
+        self._append({"kind": "begin", "hash": spec_hash, "spec": spec})
+
+    def append_row(self, spec_hash: str, index: int, data: dict) -> None:
+        """Stream one result row."""
+        self._append({"kind": "row", "hash": spec_hash, "index": index, "data": data})
+
+    def finish(
+        self,
+        spec_hash: str,
+        *,
+        rows: int,
+        elapsed_seconds: float = 0.0,
+        workers: int = 1,
+    ) -> None:
+        """Mark the block complete (making it cache-hit eligible)."""
+        self._append(
+            {
+                "kind": "end",
+                "hash": spec_hash,
+                "rows": rows,
+                "elapsed_seconds": elapsed_seconds,
+                "workers": workers,
+            }
+        )

@@ -132,7 +132,12 @@ class BatchRunner:
         )
 
     def run(
-        self, fn: Callable, payloads: Sequence, *, total_items: int | None = None
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        *,
+        total_items: int | None = None,
+        on_result: Callable | None = None,
     ) -> list:
         """``[fn(p) for p in payloads]``, possibly computed in parallel.
 
@@ -145,14 +150,30 @@ class BatchRunner:
         must decide serial-vs-parallel from the amount of *work*, not
         from the number of chunks it was split into.  Defaults to
         ``len(payloads)``.
+
+        ``on_result`` is called with each result *in payload order, as
+        it becomes available* — serially after each ``fn`` call, in
+        parallel as the pool's head-of-line chunk completes.  Callers
+        use it to stream partial results (e.g. into an artifact store)
+        while later chunks are still computing.
         """
         payloads = list(payloads)
         workers = self.resolved_workers(
             len(payloads) if total_items is None else total_items
         )
+
+        def _serial() -> list:
+            results = []
+            for payload in payloads:
+                result = fn(payload)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
+
         self.last_run_workers = 1
         if workers <= 1 or len(payloads) <= 1:
-            return [fn(payload) for payload in payloads]
+            return _serial()
         max_workers = min(workers, len(payloads))
         executor = None
         try:
@@ -166,7 +187,12 @@ class BatchRunner:
         except (OSError, BrokenExecutor):
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
-            return [fn(payload) for payload in payloads]
+            return _serial()
         self.last_run_workers = max_workers
         with executor:
-            return list(executor.map(fn, payloads))
+            results = []
+            for result in executor.map(fn, payloads):
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results

@@ -41,6 +41,7 @@ from repro.mapping.crossbar_matrix import CrossbarMatrix
 from repro.mapping.function_matrix import FunctionMatrix
 from repro.mapping.result import MappingResult
 from repro.mapping.validate import validate_assignment, validate_functionally
+from repro.api.defect_models import DefectModel, resolve_defect_model
 from repro.api.registry import Mapper, create_mapper
 from repro.api.results import (
     EvaluationResult,
@@ -246,7 +247,7 @@ class Design:
     def map(
         self,
         *,
-        defects: DefectMap | DefectProfile | float | None = None,
+        defects: DefectMap | DefectProfile | DefectModel | float | str | None = None,
         algorithm: str | Mapper = "hybrid",
         seed: int = 0,
         validate: bool = True,
@@ -258,8 +259,12 @@ class Design:
         ----------
         defects:
             A pre-built :class:`DefectMap` (must match
-            :attr:`crossbar_shape`), a :class:`DefectProfile`, a plain
-            stuck-open rate, or ``None`` for a defect-free crossbar.
+            :attr:`crossbar_shape`), a registered defect-model name
+            (``"clustered"``; see
+            :func:`repro.api.defect_models.list_defect_models`), a
+            :class:`~repro.api.defect_models.DefectModel`, a
+            :class:`DefectProfile`, a plain stuck-open rate, or ``None``
+            for a defect-free crossbar.
         algorithm:
             A registered mapper name (see
             :func:`repro.api.registry.list_mappers`) or a mapper
@@ -281,6 +286,9 @@ class Design:
                     "(including redundancy)"
                 )
             defect_map = defects
+        elif isinstance(defects, (str, DefectModel)):
+            model = resolve_defect_model(defects)
+            defect_map = model.inject(rows, columns, seed=derive_seed(seed, 0))
         else:
             profile = defects if defects is not None else 0.0
             defect_map = inject_uniform(
@@ -340,12 +348,14 @@ class Design:
         validate: bool = True,
         workers: int | None = None,
         chunk_size: int | None = None,
+        defect_model: DefectModel | str | dict | None = None,
     ):
         """Run the Monte-Carlo protocol on this design (see
         :func:`repro.experiments.monte_carlo.run_mapping_monte_carlo`).
 
         The design's redundancy carries over; ``workers`` selects the
-        parallel batch engine (``None`` = auto).
+        parallel batch engine (``None`` = auto); ``defect_model``
+        selects a registered defect model (overriding ``defect_rate``).
         """
         from repro.experiments.monte_carlo import run_mapping_monte_carlo
 
@@ -361,6 +371,7 @@ class Design:
             validate=validate,
             workers=workers,
             chunk_size=chunk_size,
+            defect_model=defect_model,
         )
 
 

@@ -28,7 +28,16 @@ _SEED_BITS = 63
 _SEED_MASK = (1 << _SEED_BITS) - 1
 
 
-def derive_seed(root_seed: int, *path: int) -> int:
+def _encode_field(value: int | str) -> str:
+    if isinstance(value, str):
+        # Length-prefixed so a string containing the separator (or one
+        # that looks like a decimal int) cannot collide with any other
+        # path: the declared length pins the field boundary.
+        return f"s{len(value)}:{value}"
+    return str(int(value))
+
+
+def derive_seed(root_seed: int, *path: int | str) -> int:
     """Derive an independent 63-bit seed from a root seed and a path.
 
     Parameters
@@ -39,17 +48,24 @@ def derive_seed(root_seed: int, *path: int) -> int:
     path:
         Any number of stream indices — e.g. ``(sample,)`` for per-sample
         defect injection, or ``(chunk, sample)`` for nested streams.
+        String components name *domains* (``("inject-uniform", sample)``)
+        so structurally different consumers of the same root seed can
+        never alias each other's streams.
 
     Distinct ``(root_seed, *path)`` tuples yield independent seeds; the
-    same tuple always yields the same seed, in every process.
+    same tuple always yields the same seed, in every process.  Integer
+    paths keep their original encoding, so pre-existing streams are
+    unchanged; a string field is length-prefixed, which keeps the
+    tuple -> bytes map injective even when the string contains the
+    separator or spells a decimal number.
     """
     digest = hashlib.blake2b(digest_size=8, person=_PERSON)
-    # Decimal encoding with a separator that cannot appear inside a field
-    # makes the tuple -> bytes map injective for arbitrary-size ints.
-    digest.update(",".join(str(int(value)) for value in (root_seed, *path)).encode())
+    # Decimal encoding with a separator that cannot appear inside an
+    # integer field makes the tuple -> bytes map injective.
+    digest.update(",".join(_encode_field(value) for value in (root_seed, *path)).encode())
     return int.from_bytes(digest.digest(), "big") & _SEED_MASK
 
 
-def spawn_seeds(root_seed: int, count: int, *path: int) -> list[int]:
+def spawn_seeds(root_seed: int, count: int, *path: int | str) -> list[int]:
     """A reproducible batch of ``count`` independent seeds."""
     return [derive_seed(root_seed, *path, index) for index in range(count)]

@@ -108,9 +108,21 @@ def random_single_output_function(
 def random_function_sample(
     spec: RandomFunctionSpec, sample_size: int, *, seed: int = 0
 ) -> list[BooleanFunction]:
-    """A reproducible sample of random functions (Fig. 6 workload)."""
+    """A reproducible sample of random functions (Fig. 6 workload).
+
+    Per-sample seeds come from the hash-based
+    :func:`repro.api.seeding.derive_seed` stream (domain
+    ``"random-function"``), so distinct ``(seed, index)`` pairs can never
+    alias — and the stream matches what the parallel Fig. 6 harness
+    derives per *global* sample index, keeping serial and chunked
+    generation identical.
+    """
+    from repro.api.seeding import derive_seed
+
     return [
-        random_single_output_function(spec, seed=seed * 1_000_003 + index)
+        random_single_output_function(
+            spec, seed=derive_seed(seed, "random-function", index)
+        )
         for index in range(sample_size)
     ]
 

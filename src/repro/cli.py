@@ -1,0 +1,241 @@
+"""The ``python -m repro`` command-line interface.
+
+Every experiment in the repository — the paper's Table II, the
+defect-rate sweep, the redundancy/yield study, Fig. 6, plus any
+scenario or suite saved as JSON — runs from one command::
+
+    python -m repro run table2 --samples 5 --workers 2 --jsonl out.jsonl
+    python -m repro run my_scenario.json --json
+    python -m repro list mappers
+
+``run`` streams results into a JSONL artifact store keyed by the content
+hash of each scenario spec; an immediate re-run with the same spec is a
+cache hit (no recomputation) and ``--force`` recomputes.  ``--out``
+writes the rendered tables to a file (markdown when it ends in ``.md``),
+``--json`` prints the full machine-readable result to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.scenarios import Scenario, ScenarioSuite
+from repro.exceptions import ExperimentError, ReproError
+
+#: Default artifact-store location when ``--jsonl`` is not given.
+DEFAULT_STORE = ".repro/artifacts.jsonl"
+
+#: The experiment targets predeclared by the experiment modules.
+BUILTIN_TARGETS = ("table2", "sweep", "redundancy", "figure6")
+
+
+def builtin_suites() -> dict[str, Callable[..., ScenarioSuite]]:
+    """``{target: paper_suite factory}`` for the predeclared experiments."""
+    from repro.experiments import defect_sweep, figure6, redundancy, table2
+
+    return {
+        "table2": table2.paper_suite,
+        "sweep": defect_sweep.paper_suite,
+        "redundancy": redundancy.paper_suite,
+        "figure6": figure6.paper_suite,
+    }
+
+
+def resolve_target(target: str) -> ScenarioSuite:
+    """Resolve a ``run`` target into a suite.
+
+    Accepted targets: a builtin experiment name (``table2``, ``sweep``,
+    ``redundancy``, ``figure6``), a path to a scenario/suite JSON file,
+    or the name of one scenario inside a builtin suite.
+    """
+    factories = builtin_suites()
+    if target in factories:
+        return factories[target]()
+    path = Path(target)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            raise ExperimentError(f"no such scenario file: {target}")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ExperimentError(
+                f"cannot read {target} as a scenario/suite JSON file: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ExperimentError(
+                f"{target} must contain a JSON object, not "
+                f"{type(payload).__name__}"
+            )
+        try:
+            if "scenarios" in payload:
+                return ScenarioSuite.from_dict(payload)
+            if "source" in payload:
+                scenario = Scenario.from_dict(payload)
+                return ScenarioSuite(scenario.name, (scenario,))
+        except (KeyError, TypeError) as error:
+            raise ExperimentError(
+                f"{target} is not a valid scenario/suite spec: {error!r}"
+            ) from None
+        raise ExperimentError(
+            f"{target} is neither a scenario (needs a 'source' key) nor a "
+            "suite (needs a 'scenarios' key)"
+        )
+    for factory in factories.values():
+        suite = factory()
+        for scenario in suite:
+            if scenario.name == target:
+                return ScenarioSuite(scenario.name, (scenario,))
+    raise ExperimentError(
+        f"unknown target {target!r}; expected one of {list(BUILTIN_TARGETS)}, "
+        "a scenario name from `repro list scenarios`, or a path to a "
+        "scenario/suite JSON file"
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "mappers":
+        from repro.api.registry import list_mappers
+
+        for name in list_mappers():
+            print(name)
+    elif args.what == "defect-models":
+        from repro.api.defect_models import list_defect_models
+
+        for name in list_defect_models():
+            print(name)
+    else:
+        for target, factory in builtin_suites().items():
+            suite = factory()
+            print(f"{target} ({len(suite)} scenarios)")
+            for scenario in suite:
+                print(f"  {scenario.describe()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.runner import run_suite
+
+    suite = resolve_target(args.target)
+    suite = suite.with_overrides(samples=args.samples, seed=args.seed)
+    store = ArtifactStore(args.jsonl or DEFAULT_STORE)
+
+    total = len(suite)
+    done = 0
+
+    def progress(scenario: Scenario, result) -> None:
+        nonlocal done
+        done += 1
+        status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
+        print(
+            f"[{done}/{total}] {scenario.name}: {len(result.rows)} rows "
+            f"({status}, workers={result.workers})",
+            file=sys.stderr,
+        )
+
+    results = run_suite(
+        suite,
+        workers=args.workers,
+        force=args.force,
+        store=store,
+        progress=progress,
+    )
+
+    if args.out:
+        out_path = Path(args.out)
+        style = "markdown" if out_path.suffix == ".md" else "monospace"
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(results.render(style=style) + "\n")
+        print(f"wrote {out_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(results.to_dict(), indent=2, sort_keys=True))
+    elif not args.out:
+        print(results.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Declarative experiment runner for the memristive-crossbar "
+            "defect-tolerance reproduction."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a builtin experiment, a scenario, or a JSON spec file"
+    )
+    run_parser.add_argument(
+        "target",
+        help=(
+            "one of: "
+            + ", ".join(BUILTIN_TARGETS)
+            + "; a scenario name (see `repro list scenarios`); or a path to "
+            "a scenario/suite JSON file"
+        ),
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="batch-engine worker processes (default: auto; 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="override every scenario's Monte-Carlo sample count",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override every scenario's seed"
+    )
+    run_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help=f"JSONL artifact store (default: {DEFAULT_STORE})",
+    )
+    run_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write rendered tables to a file (markdown when it ends in .md)",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result JSON to stdout",
+    )
+    run_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when the artifact store has a cached result",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    list_parser = subparsers.add_parser(
+        "list", help="enumerate registered mappers, defect models or scenarios"
+    )
+    list_parser.add_argument(
+        "what", choices=("mappers", "defect-models", "scenarios")
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

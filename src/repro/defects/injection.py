@@ -13,9 +13,22 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable
 
+from repro.api.seeding import derive_seed
 from repro.defects.defect_map import DefectMap
 from repro.defects.types import Defect, DefectProfile, DefectType
 from repro.exceptions import DefectError
+
+
+def _injector_rng(seed: int, domain: str) -> random.Random:
+    """A domain-separated RNG for one injector.
+
+    Injector seeds routinely come straight out of the Monte-Carlo sample
+    stream (``derive_seed(root, sample)``); hashing them again under an
+    injector-specific domain guarantees the bits an injector consumes can
+    never alias the sample stream itself (or another injector fed the
+    same seed).
+    """
+    return random.Random(derive_seed(seed, domain))
 
 
 def _pick_kind(rng: random.Random, profile: DefectProfile) -> DefectType:
@@ -38,7 +51,7 @@ def inject_uniform(
     """
     if isinstance(profile, (int, float)):
         profile = DefectProfile(rate=float(profile))
-    rng = random.Random(seed)
+    rng = _injector_rng(seed, "inject-uniform")
     defects = []
     for row in range(rows):
         for column in range(columns):
@@ -59,7 +72,7 @@ def inject_exact_count(
     area = rows * columns
     if count < 0 or count > area:
         raise DefectError(f"cannot place {count} defects on {area} crosspoints")
-    rng = random.Random(seed)
+    rng = _injector_rng(seed, "inject-exact-count")
     positions = rng.sample(
         [(r, c) for r in range(rows) for c in range(columns)], count
     )
@@ -91,7 +104,7 @@ def inject_clustered(
         raise DefectError("cluster_radius must be non-negative")
     if not 0.0 <= cluster_spread <= 1.0:
         raise DefectError("cluster_spread must lie in [0, 1]")
-    rng = random.Random(seed)
+    rng = _injector_rng(seed, "inject-clustered")
 
     neighbourhood = (2 * cluster_radius + 1) ** 2
     expected_cluster_size = 1 + (neighbourhood - 1) * cluster_spread
@@ -154,8 +167,6 @@ def defect_maps_for_monte_carlo(
     pairs can never alias (the old affine ``seed * K + index`` scheme
     collided whenever two pairs hit the same lattice point).
     """
-    from repro.api.seeding import derive_seed
-
     return [
         inject_uniform(rows, columns, profile, seed=derive_seed(seed, index))
         for index in range(sample_size)

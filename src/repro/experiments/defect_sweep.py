@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.defect_models import create_defect_model
+from repro.api.runner import run_suite
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.boolean.function import BooleanFunction
 from repro.circuits.registry import get_benchmark
 from repro.defects.analysis import naive_survival_probability
-from repro.experiments.monte_carlo import run_mapping_monte_carlo
 from repro.experiments.report import format_table
 
 #: Default defect rates swept by the extension experiment.
@@ -61,6 +63,37 @@ class DefectSweepResult:
         )
 
 
+def paper_suite(
+    function: BooleanFunction | str = "misex1",
+    *,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    sample_size: int = 100,
+    algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    seed: int = 0,
+) -> ScenarioSuite:
+    """The defect-rate sweep as a declarative scenario suite.
+
+    One scenario per swept rate (uniform stuck-open defects on the
+    optimum-size crossbar); ``misex1`` is the canonical demo circuit.
+    """
+    source = FunctionSource.coerce(function)
+    label = source.label()
+    return ScenarioSuite(
+        "sweep",
+        tuple(
+            Scenario(
+                name=f"{label}@{rate:g}",
+                source=source,
+                mappers=tuple(algorithms),
+                defect_model=create_defect_model("uniform", rate=rate),
+                samples=sample_size,
+                seed=seed,
+            )
+            for rate in rates
+        ),
+    )
+
+
 def run_defect_sweep(
     function: BooleanFunction | str,
     *,
@@ -72,23 +105,24 @@ def run_defect_sweep(
 ) -> DefectSweepResult:
     """Sweep the defect rate for one circuit (name or function).
 
+    Thin wrapper over :func:`paper_suite` + the unified scenario runner;
     ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
     auto).
     """
+    suite = paper_suite(
+        function,
+        rates=rates,
+        sample_size=sample_size,
+        algorithms=algorithms,
+        seed=seed,
+    )
     if isinstance(function, str):
         function = get_benchmark(function)
     result = DefectSweepResult(
         function_name=function.name or "<anonymous>", sample_size=sample_size
     )
-    for rate in rates:
-        monte_carlo = run_mapping_monte_carlo(
-            function,
-            defect_rate=rate,
-            sample_size=sample_size,
-            algorithms=algorithms,
-            seed=seed,
-            workers=workers,
-        )
+    for rate, scenario_result in zip(rates, run_suite(suite, workers=workers)):
+        monte_carlo = scenario_result.monte_carlo()
         point = SweepPoint(
             defect_rate=rate,
             success_rates={

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.runner import run_suite
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.boolean.function import BooleanFunction
 from repro.boolean.minimize import minimize_cover
-from repro.boolean.random_functions import RandomFunctionSpec, random_function_sample
+from repro.boolean.random_functions import RandomFunctionSpec
 from repro.crossbar.two_level import two_level_area_cost
 from repro.exceptions import ExperimentError
 from repro.experiments.report import ascii_scatter, format_percent
@@ -166,22 +168,58 @@ def evaluate_sample(
     )
 
 
-def run_figure6(config: Figure6Config | None = None) -> Figure6Result:
-    """Regenerate Fig. 6 for the configured input sizes."""
+def scenario_for(config: Figure6Config, num_inputs: int) -> Scenario:
+    """One figure panel as a declarative ``"area"`` scenario."""
+    spec = config.spec_for(num_inputs)
+    return Scenario(
+        name=f"figure6-n{num_inputs}",
+        source=FunctionSource.random(
+            num_inputs,
+            min_products=spec.min_products,
+            max_products=spec.max_products,
+            min_literals=spec.min_literals,
+            max_literals=spec.max_literals,
+        ),
+        samples=config.sample_size,
+        seed=config.seed + num_inputs,
+        protocol="area",
+        options={"minimize_before_synthesis": config.minimize_before_synthesis},
+    )
+
+
+def paper_suite(config: Figure6Config | None = None) -> ScenarioSuite:
+    """The paper's Fig. 6 workload as a declarative scenario suite."""
+    config = config or Figure6Config()
+    return ScenarioSuite(
+        "figure6",
+        tuple(scenario_for(config, n) for n in config.input_sizes),
+    )
+
+
+def run_figure6(
+    config: Figure6Config | None = None, *, workers: int | None = None
+) -> Figure6Result:
+    """Regenerate Fig. 6 for the configured input sizes.
+
+    Thin wrapper over :func:`paper_suite` + the unified scenario runner.
+    ``workers`` selects the parallel batch engine (``None`` = auto);
+    each panel's sample stream is chunked over *global* sample indices
+    with collision-free derived seeds and merged in chunk order, so the
+    panels are identical for every worker count.
+    """
     config = config or Figure6Config()
     result = Figure6Result(config=config)
-    for num_inputs in config.input_sizes:
+    suite_result = run_suite(paper_suite(config), workers=workers)
+    for num_inputs, scenario_result in zip(config.input_sizes, suite_result):
         panel = Figure6Panel(num_inputs=num_inputs)
-        spec = config.spec_for(num_inputs)
-        functions = random_function_sample(
-            spec, config.sample_size, seed=config.seed + num_inputs
-        )
-        for function in functions:
-            panel.samples.append(
-                evaluate_sample(
-                    function,
-                    minimize_before_synthesis=config.minimize_before_synthesis,
-                )
+        panel.samples = [
+            Figure6Sample(
+                num_products=row["num_products"],
+                two_level_cost=row["two_level_cost"],
+                multi_level_cost=row["multi_level_cost"],
+                gate_count=row["gate_count"],
             )
+            for row in scenario_result.area_samples()
+        ]
         result.panels[num_inputs] = panel
     return result

@@ -33,11 +33,11 @@ from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass, field
 
 from repro.api.batch import BatchRunner, chunk_ranges
+from repro.api.defect_models import DefectModel, resolve_defect_model
 from repro.api.registry import Mapper, resolve_mappers
 from repro.api.seeding import derive_seed
 from repro.boolean.function import BooleanFunction
 from repro.defects.defect_map import DefectMap
-from repro.defects.injection import inject_uniform
 from repro.defects.types import DefectProfile
 from repro.exceptions import ExperimentError
 from repro.mapping.crossbar_matrix import CrossbarMatrix
@@ -103,6 +103,7 @@ class MonteCarloResult:
     outcomes: dict[str, AlgorithmOutcome] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     workers: int = 1
+    defect_model: dict | None = None
 
     def outcome(self, algorithm: str) -> AlgorithmOutcome:
         """Aggregated outcome of one algorithm."""
@@ -122,6 +123,7 @@ class MonteCarloResult:
             "sample_size": self.sample_size,
             "elapsed_seconds": self.elapsed_seconds,
             "workers": self.workers,
+            "defect_model": self.defect_model,
             "outcomes": {
                 name: outcome.to_dict() for name, outcome in self.outcomes.items()
             },
@@ -136,6 +138,7 @@ class MonteCarloResult:
             sample_size=payload["sample_size"],
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
             workers=payload.get("workers", 1),
+            defect_model=payload.get("defect_model"),
             outcomes={
                 name: AlgorithmOutcome.from_dict(entry)
                 for name, entry in payload["outcomes"].items()
@@ -154,7 +157,7 @@ class _ChunkTask:
     """
 
     function: BooleanFunction
-    profile: DefectProfile
+    model: DefectModel
     rows: int
     columns: int
     required_columns: int
@@ -172,8 +175,8 @@ def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
     outcomes = {name: AlgorithmOutcome(algorithm=name) for name in mappers}
     spare_columns = task.columns > task.required_columns
     for sample in range(task.start, task.stop):
-        defect_map = inject_uniform(
-            task.rows, task.columns, task.profile, seed=derive_seed(task.seed, sample)
+        defect_map = task.model.inject(
+            task.rows, task.columns, seed=derive_seed(task.seed, sample)
         )
         if spare_columns:
             defect_map = repair_spare_columns(defect_map, task.required_columns)
@@ -211,6 +214,7 @@ def run_mapping_monte_carlo(
     validate: bool = True,
     workers: int | None = None,
     chunk_size: int | None = None,
+    defect_model: DefectModel | str | dict | None = None,
 ) -> MonteCarloResult:
     """Run the paper's Monte-Carlo mapping protocol on one function.
 
@@ -221,6 +225,13 @@ def run_mapping_monte_carlo(
         dimensions plus the optional redundancy.
     defect_rate / stuck_open_fraction:
         Defect injection parameters (the paper uses 10 % stuck-open only).
+        Ignored when ``defect_model`` is given.
+    defect_model:
+        A registered defect-model name, a
+        :class:`~repro.api.defect_models.DefectModel` or its ``to_dict``
+        payload; overrides ``defect_rate``/``stuck_open_fraction`` and
+        selects the per-sample injector (``"clustered"``,
+        ``"exact-count"``, ...).
     sample_size:
         Number of random defective crossbars (the paper uses 200).
     algorithms:
@@ -251,7 +262,16 @@ def run_mapping_monte_carlo(
     function_matrix = FunctionMatrix(function)
     rows = function_matrix.num_rows + extra_rows
     columns = function_matrix.num_columns + extra_columns
-    profile = DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
+    if defect_model is None:
+        # Validates the rate/fraction values eagerly, like it always has.
+        DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
+        model = DefectModel(
+            "uniform",
+            {"rate": defect_rate, "stuck_open_fraction": stuck_open_fraction},
+        )
+    else:
+        model = resolve_defect_model(defect_model)
+    reported_rate = model.rate if model.rate is not None else 0.0
 
     # Resolve eagerly so configuration errors surface before any work
     # (and before a process pool spins up).
@@ -262,7 +282,7 @@ def run_mapping_monte_carlo(
     tasks = [
         _ChunkTask(
             function=function,
-            profile=profile,
+            model=model,
             rows=rows,
             columns=columns,
             required_columns=function_matrix.num_columns,
@@ -277,10 +297,11 @@ def run_mapping_monte_carlo(
 
     result = MonteCarloResult(
         function_name=function.name or "<anonymous>",
-        defect_rate=defect_rate,
+        defect_rate=reported_rate,
         sample_size=sample_size,
         outcomes={name: AlgorithmOutcome(algorithm=name) for name in mappers},
         workers=plan.workers,
+        defect_model=model.to_dict(),
     )
 
     start = time.perf_counter()

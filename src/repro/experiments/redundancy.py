@@ -22,11 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.defect_models import create_defect_model
+from repro.api.runner import run_scenario
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.boolean.function import BooleanFunction
 from repro.circuits.registry import get_benchmark
-from repro.defects.types import DefectProfile
 from repro.exceptions import ExperimentError
-from repro.experiments.monte_carlo import run_mapping_monte_carlo
 from repro.experiments.report import format_table
 from repro.mapping.function_matrix import FunctionMatrix
 
@@ -91,20 +92,64 @@ class RedundancyResult:
         return format_table(headers, body, title=title)
 
 
+#: The default yield/area trade-off curve points.
+DEFAULT_REDUNDANCY_LEVELS: tuple[tuple[int, int], ...] = (
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (4, 0),
+    (2, 2),
+    (4, 4),
+    (8, 8),
+)
+
+
+def paper_suite(
+    function: BooleanFunction | str = "rd53",
+    *,
+    defect_rate: float = 0.10,
+    stuck_open_fraction: float = 0.9,
+    redundancy_levels: tuple[tuple[int, int], ...] = DEFAULT_REDUNDANCY_LEVELS,
+    sample_size: int = 100,
+    algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    seed: int = 0,
+) -> ScenarioSuite:
+    """The redundancy/yield study as a declarative scenario suite.
+
+    One scenario whose ``redundancy`` tuple spans the whole trade-off
+    curve (one result row per level); ``rd53`` is the canonical demo
+    circuit.
+    """
+    if not 0.0 <= stuck_open_fraction <= 1.0:
+        raise ExperimentError("stuck_open_fraction must lie in [0, 1]")
+    source = FunctionSource.coerce(function)
+    label = source.label()
+    return ScenarioSuite(
+        "redundancy",
+        (
+            Scenario(
+                name=f"{label}-redundancy",
+                source=source,
+                mappers=tuple(algorithms),
+                defect_model=create_defect_model(
+                    "uniform",
+                    rate=defect_rate,
+                    stuck_open_fraction=stuck_open_fraction,
+                ),
+                redundancy=tuple(redundancy_levels),
+                samples=sample_size,
+                seed=seed,
+            ),
+        ),
+    )
+
+
 def run_redundancy_analysis(
     function: BooleanFunction | str,
     *,
     defect_rate: float = 0.10,
     stuck_open_fraction: float = 0.9,
-    redundancy_levels: tuple[tuple[int, int], ...] = (
-        (0, 0),
-        (1, 0),
-        (2, 0),
-        (4, 0),
-        (2, 2),
-        (4, 4),
-        (8, 8),
-    ),
+    redundancy_levels: tuple[tuple[int, int], ...] = DEFAULT_REDUNDANCY_LEVELS,
     sample_size: int = 100,
     algorithms: tuple[str, ...] = ("hybrid", "exact"),
     seed: int = 0,
@@ -112,15 +157,22 @@ def run_redundancy_analysis(
 ) -> RedundancyResult:
     """Measure yield as a function of added redundant rows/columns.
 
+    Thin wrapper over :func:`paper_suite` + the unified scenario runner;
     ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
     auto); each redundancy level's sample stream is parallelised
     independently.
     """
+    suite = paper_suite(
+        function,
+        defect_rate=defect_rate,
+        stuck_open_fraction=stuck_open_fraction,
+        redundancy_levels=redundancy_levels,
+        sample_size=sample_size,
+        algorithms=algorithms,
+        seed=seed,
+    )
     if isinstance(function, str):
         function = get_benchmark(function)
-    if not 0.0 <= stuck_open_fraction <= 1.0:
-        raise ExperimentError("stuck_open_fraction must lie in [0, 1]")
-    DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
 
     function_matrix = FunctionMatrix(function)
     base_area = function_matrix.num_rows * function_matrix.num_columns
@@ -131,18 +183,9 @@ def run_redundancy_analysis(
         stuck_open_fraction=stuck_open_fraction,
         sample_size=sample_size,
     )
+    scenario_result = run_scenario(suite.scenarios[0], workers=workers)
     for extra_rows, extra_columns in redundancy_levels:
-        monte_carlo = run_mapping_monte_carlo(
-            function,
-            defect_rate=defect_rate,
-            stuck_open_fraction=stuck_open_fraction,
-            sample_size=sample_size,
-            algorithms=algorithms,
-            seed=seed,
-            extra_rows=extra_rows,
-            extra_columns=extra_columns,
-            workers=workers,
-        )
+        monte_carlo = scenario_result.monte_carlo((extra_rows, extra_columns))
         redundant_area = (function_matrix.num_rows + extra_rows) * (
             function_matrix.num_columns + extra_columns
         )

@@ -16,20 +16,44 @@ def format_table(
     rows: Sequence[Sequence[object]],
     *,
     title: str = "",
+    style: str = "monospace",
 ) -> str:
-    """Render a list of rows as an aligned monospaced table."""
+    """Render a list of rows as a table.
+
+    ``style="monospace"`` (the default) produces the aligned plain-text
+    rendering the harnesses print; ``style="markdown"`` produces a GFM
+    pipe table (title as a bold paragraph) so CLI ``--out`` artifacts
+    embed cleanly in docs.
+    """
+    if style not in ("monospace", "markdown"):
+        raise ValueError(
+            f"unknown table style {style!r}; expected 'monospace' or 'markdown'"
+        )
     columns = len(headers)
     normalised = [[_cell(value) for value in row] for row in rows]
     for row in normalised:
         if len(row) != columns:
             raise ValueError("row width does not match header width")
+    lines = []
+    if style == "markdown":
+        if title:
+            lines.append(f"**{title}**")
+            lines.append("")
+        escaped = [
+            [cell.replace("|", "\\|") for cell in row]
+            for row in ([list(headers)] + normalised)
+        ]
+        lines.append("| " + " | ".join(escaped[0]) + " |")
+        lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+        for row in escaped[1:]:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in normalised), 1)
         if normalised
         else len(headers[i])
         for i in range(columns)
     ]
-    lines = []
     if title:
         lines.append(title)
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))

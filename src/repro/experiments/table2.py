@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.defect_models import create_defect_model
+from repro.api.runner import run_scenario, run_suite
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.boolean.function import BooleanFunction
-from repro.circuits.registry import get_benchmark, get_benchmark_spec
+from repro.circuits.registry import get_benchmark_spec
 from repro.circuits.specs import all_table2_names
 from repro.crossbar.metrics import two_level_area_of
-from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.experiments.monte_carlo import MonteCarloResult
 from repro.experiments.report import format_percent, format_runtime, format_table
 from repro.mapping.function_matrix import FunctionMatrix
 
@@ -123,25 +126,42 @@ class Table2Result:
         return format_table(headers, body, title=title)
 
 
-def run_table2_row(
-    function: BooleanFunction,
+def paper_suite(
+    benchmark_names: list[str] | None = None,
     *,
     defect_rate: float = 0.10,
     sample_size: int = 200,
     seed: int = 0,
+    variant: str = "table2",
     algorithms: tuple[str, ...] = ("hybrid", "exact"),
-    workers: int | None = None,
-) -> Table2Row:
-    """Run the Monte-Carlo protocol for one circuit and collect a row."""
-    function_matrix = FunctionMatrix(function)
-    monte_carlo = run_mapping_monte_carlo(
-        function,
-        defect_rate=defect_rate,
-        sample_size=sample_size,
-        algorithms=algorithms,
-        seed=seed,
-        workers=workers,
+) -> ScenarioSuite:
+    """The paper's Table II workload as a declarative scenario suite.
+
+    One scenario per benchmark: optimum-size crossbar, uniform
+    stuck-open defects at ``defect_rate``, HBA raced against EA.
+    """
+    names = benchmark_names or all_table2_names()
+    return ScenarioSuite(
+        "table2",
+        tuple(
+            Scenario(
+                name=name,
+                source=FunctionSource.benchmark(name, variant=variant),
+                mappers=tuple(algorithms),
+                defect_model=create_defect_model("uniform", rate=defect_rate),
+                samples=sample_size,
+                seed=seed,
+            )
+            for name in names
+        ),
     )
+
+
+def _row_from_monte_carlo(
+    function: BooleanFunction, monte_carlo: MonteCarloResult
+) -> Table2Row:
+    """Condense one benchmark's Monte-Carlo outcome into a table row."""
+    function_matrix = FunctionMatrix(function)
     hba = monte_carlo.outcome("hybrid")
     ea = monte_carlo.outcome("exact") if "exact" in monte_carlo.outcomes else hba
     name = function.name or "<anonymous>"
@@ -164,6 +184,32 @@ def run_table2_row(
     )
 
 
+def run_table2_row(
+    function: BooleanFunction,
+    *,
+    defect_rate: float = 0.10,
+    sample_size: int = 200,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("hybrid", "exact"),
+    workers: int | None = None,
+) -> Table2Row:
+    """Run the Monte-Carlo protocol for one circuit and collect a row.
+
+    Thin wrapper: the function is embedded into an ad-hoc
+    :class:`Scenario` and dispatched through the unified runner.
+    """
+    scenario = Scenario(
+        name=function.name or "<anonymous>",
+        source=FunctionSource.from_function(function),
+        mappers=tuple(algorithms),
+        defect_model=create_defect_model("uniform", rate=defect_rate),
+        samples=sample_size,
+        seed=seed,
+    )
+    monte_carlo = run_scenario(scenario, workers=workers).monte_carlo()
+    return _row_from_monte_carlo(function, monte_carlo)
+
+
 def run_table2(
     benchmark_names: list[str] | None = None,
     *,
@@ -175,24 +221,26 @@ def run_table2(
 ) -> Table2Result:
     """Regenerate Table II for the given benchmarks (default: all 16).
 
+    Thin wrapper over :func:`paper_suite` + the unified scenario runner;
     ``workers`` is forwarded to the Monte-Carlo batch engine (``None`` =
     auto); each row's sample stream is parallelised independently.
     """
-    names = benchmark_names or all_table2_names()
+    suite = paper_suite(
+        benchmark_names,
+        defect_rate=defect_rate,
+        sample_size=sample_size,
+        seed=seed,
+        variant=variant,
+    )
     result = Table2Result(defect_rate=defect_rate, sample_size=sample_size)
-    for name in names:
-        function = get_benchmark(name, variant=variant)
-        spec = get_benchmark_spec(name, variant=variant)
+    for scenario, scenario_result in zip(suite, run_suite(suite, workers=workers)):
+        spec = get_benchmark_spec(scenario.name, variant=variant)
         # When the paper mapped the dual, the spec's products already refer
         # to the mapped (complemented) implementation, so no extra work is
         # needed here; the flag is carried through for reporting.
-        row = run_table2_row(
-            function,
-            defect_rate=defect_rate,
-            sample_size=sample_size,
-            seed=seed,
-            workers=workers,
+        row = _row_from_monte_carlo(
+            scenario.source.build(), scenario_result.monte_carlo()
         )
-        row.name = name if not spec.dual_selected else f"{name}*"
+        row.name = scenario.name if not spec.dual_selected else f"{scenario.name}*"
         result.rows.append(row)
     return result

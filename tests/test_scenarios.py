@@ -1,0 +1,591 @@
+"""Tests for the declarative Scenario API: defect-model registry,
+scenario/suite serialization, the unified runner and the JSONL artifact
+cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.defect_models import (
+    DefectModel,
+    DefectModelRegistry,
+    create_defect_model,
+    list_defect_models,
+    register_defect_model,
+    resolve_defect_model,
+    unregister_defect_model,
+)
+from repro.api.runner import ScenarioResult, SuiteResult, run_scenario, run_suite
+from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
+from repro.api.seeding import derive_seed
+from repro.defects.defect_map import DefectMap
+from repro.defects.types import DefectProfile, DefectType
+from repro.exceptions import DefectError, ExperimentError, RegistryError
+
+
+def small_scenario(**overrides) -> Scenario:
+    """A fast mapping scenario used throughout the runner tests."""
+    settings = dict(
+        name="small",
+        source=FunctionSource.benchmark("rd53"),
+        mappers=("hybrid",),
+        samples=4,
+        seed=3,
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+class TestDefectModelRegistry:
+    def test_builtins_registered(self):
+        names = list_defect_models()
+        for expected in ("uniform", "exact-count", "clustered", "lines"):
+            assert expected in names
+
+    def test_unknown_name_lists_registered_models(self):
+        with pytest.raises(RegistryError) as error:
+            create_defect_model("alien")
+        assert "uniform" in str(error.value)
+        assert "alien" in str(error.value)
+
+    def test_duplicate_registration_rejected(self):
+        registry = DefectModelRegistry()
+        registry.register("m", lambda rows, columns, *, seed=0: None)
+        with pytest.raises(RegistryError):
+            registry.register("m", lambda rows, columns, *, seed=0: None)
+
+    def test_override_replaces(self):
+        registry = DefectModelRegistry()
+
+        def first(rows, columns, *, seed=0):
+            return "first"
+
+        def second(rows, columns, *, seed=0):
+            return "second"
+
+        registry.register("m", first)
+        registry.register("m", second, override=True)
+        assert registry.injector("m") is second
+
+    def test_register_unregister_default_registry(self):
+        @register_defect_model("defect-free")
+        def defect_free(rows, columns, *, seed=0):
+            return DefectMap(rows, columns, [])
+
+        try:
+            model = create_defect_model("defect-free")
+            assert len(model.inject(4, 4, seed=1)) == 0
+        finally:
+            unregister_defect_model("defect-free")
+        assert "defect-free" not in list_defect_models()
+        with pytest.raises(RegistryError):
+            unregister_defect_model("defect-free")
+
+    def test_invalid_name_and_factory(self):
+        registry = DefectModelRegistry()
+        with pytest.raises(RegistryError):
+            registry.register("", lambda rows, columns, *, seed=0: None)
+        with pytest.raises(RegistryError):
+            registry.register("m", "not-callable")
+
+    def test_create_validates_parameter_names(self):
+        with pytest.raises(RegistryError) as error:
+            create_defect_model("clustered", cluster_radii=2)
+        assert "clustered" in str(error.value)
+
+    def test_create_validates_parameter_values_eagerly(self):
+        with pytest.raises(DefectError):
+            create_defect_model("uniform", rate=5.0)
+        with pytest.raises(DefectError):
+            create_defect_model("uniform", stuck_open_fraction=-1.0)
+        with pytest.raises(DefectError):
+            create_defect_model("clustered", cluster_spread=2.0)
+        with pytest.raises(DefectError):
+            create_defect_model("exact-count", count=-1)
+        with pytest.raises(DefectError):
+            create_defect_model("lines", kind="bogus")
+        with pytest.raises(DefectError):
+            resolve_defect_model(1.5)
+
+    def test_model_round_trip(self):
+        model = create_defect_model("clustered", rate=0.08, cluster_radius=2)
+        rebuilt = DefectModel.from_dict(model.to_dict())
+        assert rebuilt == model
+        assert rebuilt.rate == pytest.approx(0.08)
+        assert "clustered" in rebuilt.describe()
+
+    def test_model_inject_matches_injector(self):
+        from repro.defects.injection import inject_uniform
+
+        model = create_defect_model("uniform", rate=0.2)
+        assert list(model.inject(10, 10, seed=5)) == list(
+            inject_uniform(10, 10, 0.2, seed=5)
+        )
+
+
+class TestResolveDefectModel:
+    def test_none_is_paper_default(self):
+        model = resolve_defect_model(None)
+        assert model.name == "uniform"
+        assert model.rate == pytest.approx(0.10)
+
+    def test_from_rate_profile_name_and_dict(self):
+        assert resolve_defect_model(0.25).rate == pytest.approx(0.25)
+        profile = DefectProfile(rate=0.2, stuck_open_fraction=0.5)
+        model = resolve_defect_model(profile)
+        assert model.params["stuck_open_fraction"] == pytest.approx(0.5)
+        assert resolve_defect_model("lines").name == "lines"
+        payload = {"name": "exact-count", "params": {"count": 3}}
+        assert resolve_defect_model(payload).params["count"] == 3
+
+    def test_model_passes_through(self):
+        model = create_defect_model("uniform", rate=0.3)
+        assert resolve_defect_model(model) is model
+
+    def test_unknown_and_invalid_specs_raise(self):
+        with pytest.raises(RegistryError):
+            resolve_defect_model("alien")
+        with pytest.raises(RegistryError):
+            resolve_defect_model(DefectModel("alien"))
+        with pytest.raises(RegistryError):
+            resolve_defect_model(object())
+
+
+class TestInjectors:
+    def test_clustered_deterministic_and_clustered(self):
+        from repro.defects.injection import inject_clustered
+
+        a = inject_clustered(30, 30, 0.1, cluster_radius=2, seed=7)
+        b = inject_clustered(30, 30, 0.1, cluster_radius=2, seed=7)
+        assert list(a) == list(b)
+        assert len(a) > 0
+
+    def test_clustered_rate_roughly_matches(self):
+        from repro.defects.injection import inject_clustered
+
+        defect_map = inject_clustered(60, 60, 0.1, seed=3)
+        rate = len(defect_map) / (60 * 60)
+        assert 0.03 < rate < 0.25
+
+    def test_clustered_zero_spread_only_seeds(self):
+        from repro.defects.injection import inject_clustered
+
+        defect_map = inject_clustered(
+            40, 40, 0.05, cluster_radius=0, cluster_spread=0.0, seed=1
+        )
+        assert len(defect_map) >= 0  # degenerate cluster = plain seeds
+
+    def test_clustered_invalid_arguments(self):
+        from repro.defects.injection import inject_clustered
+
+        with pytest.raises(DefectError):
+            inject_clustered(10, 10, 0.1, cluster_radius=-1)
+        with pytest.raises(DefectError):
+            inject_clustered(10, 10, 0.1, cluster_spread=1.5)
+
+    def test_line_defects_cover_whole_lines(self):
+        from repro.defects.injection import inject_line_defects
+
+        defect_map = inject_line_defects(
+            5, 7, broken_rows=(1,), broken_columns=(2,), kind=DefectType.STUCK_CLOSED
+        )
+        assert all(not defect_map.is_functional(1, c) for c in range(7))
+        assert all(not defect_map.is_functional(r, 2) for r in range(5))
+        # one horizontal and one vertical line minus the shared crosspoint
+        assert len(defect_map) == 7 + 5 - 1
+
+    def test_line_defects_kind(self):
+        from repro.defects.injection import inject_line_defects
+
+        defect_map = inject_line_defects(
+            3, 3, broken_rows=(0,), kind=DefectType.STUCK_OPEN
+        )
+        assert all(d.kind is DefectType.STUCK_OPEN for d in defect_map)
+
+    def test_defect_profile_validation_errors(self):
+        with pytest.raises(DefectError):
+            DefectProfile(rate=-0.1)
+        with pytest.raises(DefectError):
+            DefectProfile(rate=1.5)
+        with pytest.raises(DefectError):
+            DefectProfile(rate=0.1, stuck_open_fraction=-0.5)
+        with pytest.raises(DefectError):
+            DefectProfile(rate=0.1, stuck_open_fraction=2.0)
+
+    def test_injector_streams_do_not_alias_sample_stream(self):
+        # The injector re-derives its RNG seed under a domain tag, so the
+        # bits it consumes differ from any directly-seeded RNG stream.
+        from repro.defects.injection import inject_uniform
+
+        seed = derive_seed(0, 17)
+        a = inject_uniform(20, 20, 0.2, seed=seed)
+        b = inject_uniform(20, 20, 0.2, seed=derive_seed(seed, "inject-uniform"))
+        assert list(a) != list(b)
+
+
+class TestSeedingDomains:
+    def test_string_path_components(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "5") != derive_seed(1, 5)
+
+    def test_length_prefix_prevents_separator_collisions(self):
+        assert derive_seed(0, "a,1") != derive_seed(0, "a", 1)
+        assert derive_seed(0, "a", "b") != derive_seed(0, "a,b")
+
+    def test_integer_paths_unchanged(self):
+        # Pin the historical int-only encoding: the digest of the decimal
+        # comma-joined tuple.
+        import hashlib
+
+        digest = hashlib.blake2b(b"3,7", digest_size=8, person=b"repro-seeds")
+        expected = int.from_bytes(digest.digest(), "big") & ((1 << 63) - 1)
+        assert derive_seed(3, 7) == expected
+
+
+class TestScenarioSerialization:
+    def test_round_trip_all_paper_suites(self):
+        from repro.experiments import defect_sweep, figure6, redundancy, table2
+
+        for factory in (
+            table2.paper_suite,
+            defect_sweep.paper_suite,
+            redundancy.paper_suite,
+            figure6.paper_suite,
+        ):
+            suite = factory()
+            rebuilt = ScenarioSuite.from_dict(suite.to_dict())
+            assert rebuilt == suite
+            assert ScenarioSuite.from_json(suite.to_json()) == suite
+            for scenario in suite:
+                assert Scenario.from_dict(scenario.to_dict()) == scenario
+                assert (
+                    Scenario.from_dict(scenario.to_dict()).content_hash()
+                    == scenario.content_hash()
+                )
+
+    def test_content_hash_sensitivity(self):
+        scenario = small_scenario()
+        assert scenario.content_hash() == small_scenario().content_hash()
+        assert (
+            small_scenario(samples=5).content_hash() != scenario.content_hash()
+        )
+        assert small_scenario(seed=4).content_hash() != scenario.content_hash()
+        assert (
+            small_scenario(
+                defect_model=create_defect_model("uniform", rate=0.2)
+            ).content_hash()
+            != scenario.content_hash()
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ExperimentError):
+            small_scenario(name="")
+        with pytest.raises(ExperimentError):
+            small_scenario(samples=0)
+        with pytest.raises(ExperimentError):
+            small_scenario(protocol="alien")
+        with pytest.raises(ExperimentError):
+            small_scenario(redundancy=((-1, 0),))
+        with pytest.raises(ExperimentError):
+            small_scenario(redundancy=())
+        with pytest.raises(ExperimentError):
+            small_scenario(mappers=())
+
+    def test_source_kinds_build(self, paper_single_output):
+        assert FunctionSource.benchmark("rd53").build().name == "rd53"
+        sop = FunctionSource.sop("x1 + x2 x3", name="tiny")
+        assert sop.build().num_inputs == 3
+        inline = FunctionSource.from_function(paper_single_output)
+        assert inline.build().num_products == paper_single_output.num_products
+        random_source = FunctionSource.random(6)
+        assert random_source.build(seed=1).num_inputs == 6
+        assert random_source.label() == "random(n=6)"
+        with pytest.raises(ExperimentError):
+            FunctionSource("alien", {})
+
+    def test_pla_source_round_trips(self):
+        pla_text = ".i 2\n.o 1\n.p 2\n10 1\n01 1\n.e\n"
+        source = FunctionSource.pla(pla_text, name="xor_ish")
+        rebuilt = FunctionSource.from_dict(source.to_dict())
+        assert rebuilt.build().num_inputs == 2
+
+    def test_suite_lookup_and_duplicates(self):
+        suite = ScenarioSuite("s", (small_scenario(),))
+        assert suite.scenario("small").name == "small"
+        assert suite.names() == ["small"]
+        with pytest.raises(ExperimentError):
+            suite.scenario("missing")
+        with pytest.raises(ExperimentError):
+            ScenarioSuite("s", (small_scenario(), small_scenario()))
+
+    def test_with_overrides(self):
+        suite = ScenarioSuite("s", (small_scenario(),)).with_overrides(
+            samples=9, seed=11
+        )
+        assert suite.scenarios[0].samples == 9
+        assert suite.scenarios[0].seed == 11
+        # None keeps everything (and returns an equal scenario)
+        assert small_scenario().with_overrides() == small_scenario()
+
+
+class TestRunner:
+    def test_workers_equivalence(self):
+        serial = run_scenario(small_scenario(samples=8), workers=1)
+        parallel = run_scenario(small_scenario(samples=8), workers=2)
+        assert serial.counting_statistics() == parallel.counting_statistics()
+
+    def test_monte_carlo_accessor_and_errors(self):
+        result = run_scenario(small_scenario(), workers=1)
+        monte_carlo = result.monte_carlo()
+        assert monte_carlo.outcome("hybrid").samples == 4
+        assert monte_carlo.defect_model["name"] == "uniform"
+        with pytest.raises(ExperimentError):
+            result.monte_carlo((5, 5))
+        with pytest.raises(ExperimentError):
+            result.area_samples()
+
+    def test_redundancy_rows(self):
+        scenario = small_scenario(redundancy=((0, 0), (2, 2)))
+        result = run_scenario(scenario, workers=1)
+        assert len(result.rows) == 2
+        assert result.monte_carlo((2, 2)).outcome("hybrid").samples == 4
+
+    def test_custom_defect_model_in_scenario(self):
+        scenario = small_scenario(
+            defect_model=create_defect_model("clustered", rate=0.05)
+        )
+        result = run_scenario(scenario, workers=1)
+        assert result.monte_carlo().defect_model["name"] == "clustered"
+
+    def test_scenario_result_round_trip(self):
+        result = run_scenario(small_scenario(), workers=1)
+        rebuilt = ScenarioResult.from_dict(result.to_dict())
+        assert rebuilt.spec_hash == result.spec_hash
+        assert rebuilt.rows == result.rows
+        assert rebuilt.counting_statistics() == result.counting_statistics()
+
+    def test_render_styles(self):
+        result = run_scenario(small_scenario(), workers=1)
+        assert "Psucc[hybrid]" in result.render()
+        assert result.render(style="markdown").startswith("**")
+
+    def test_run_suite_order_and_lookup(self):
+        suite = ScenarioSuite(
+            "pair", (small_scenario(), small_scenario(name="second", seed=4))
+        )
+        results = run_suite(suite, workers=1)
+        assert [r.scenario.name for r in results] == ["small", "second"]
+        assert results.result("second").scenario.seed == 4
+        with pytest.raises(ExperimentError):
+            results.result("missing")
+        rebuilt = SuiteResult.from_dict(results.to_dict())
+        assert rebuilt.result("small").rows == results.result("small").rows
+
+    def test_area_protocol_scenario(self):
+        scenario = Scenario(
+            name="area-small",
+            source=FunctionSource.random(6, max_products=6),
+            samples=5,
+            seed=2,
+            protocol="area",
+        )
+        serial = run_scenario(scenario, workers=1)
+        parallel = run_scenario(scenario, workers=2)
+        assert serial.rows == parallel.rows
+        assert len(serial.area_samples()) == 5
+        assert {row["index"] for row in serial.rows} == set(range(5))
+        with pytest.raises(ExperimentError):
+            serial.monte_carlo()
+
+    def test_area_protocol_fixed_function(self, paper_single_output):
+        scenario = Scenario(
+            name="area-fixed",
+            source=FunctionSource.from_function(paper_single_output),
+            samples=10,
+            protocol="area",
+        )
+        result = run_scenario(scenario, workers=1)
+        assert len(result.rows) == 1
+        assert result.rows[0]["two_level_cost"] == 108
+
+
+class TestArtifactCache:
+    def test_cache_hit_and_force(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts.jsonl")
+        scenario = small_scenario()
+        first = run_scenario(scenario, workers=1, store=store)
+        assert not first.cached
+        second = run_scenario(scenario, workers=1, store=store)
+        assert second.cached
+        assert second.rows == first.rows
+        forced = run_scenario(scenario, workers=1, store=store, force=True)
+        assert not forced.cached
+        assert forced.counting_statistics() == first.counting_statistics()
+
+    def test_cache_does_not_recompute(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "artifacts.jsonl")
+        scenario = small_scenario()
+        run_scenario(scenario, workers=1, store=store)
+
+        import repro.api.runner as runner_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("cache hit must not recompute")
+
+        monkeypatch.setattr(runner_module, "_run_mapping_protocol", explode)
+        cached = run_scenario(scenario, workers=1, store=store)
+        assert cached.cached
+
+    def test_spec_change_misses_cache(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts.jsonl")
+        run_scenario(small_scenario(), workers=1, store=store)
+        other = run_scenario(small_scenario(seed=9), workers=1, store=store)
+        assert not other.cached
+
+    def test_incomplete_block_is_not_cached(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        store = ArtifactStore(path)
+        scenario = small_scenario()
+        result = run_scenario(scenario, workers=1, store=store)
+        # Drop the end marker: simulates a killed run.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        assert store.load(result.spec_hash) is None
+        rerun = run_scenario(scenario, workers=1, store=store)
+        assert not rerun.cached
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        store = ArtifactStore(path)
+        result = run_scenario(small_scenario(), workers=1, store=store)
+        with path.open("a") as handle:
+            handle.write("{truncated\n")
+        assert store.load(result.spec_hash) is not None
+
+    def test_area_rows_stream_into_store(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        scenario = Scenario(
+            name="area-stream",
+            source=FunctionSource.random(5, max_products=4),
+            samples=4,
+            protocol="area",
+        )
+        run_scenario(scenario, workers=1, store=ArtifactStore(path))
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds == ["begin"] + ["row"] * 4 + ["end"]
+
+    def test_scan_cache_sees_external_appends(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts.jsonl")
+        first = run_scenario(small_scenario(), workers=1, store=store)
+        assert store.load(first.spec_hash) is not None  # populates the cache
+        other = small_scenario(seed=99)
+        run_scenario(other, workers=1, store=store)
+        assert store.load(other.content_hash()) is not None
+
+    def test_store_is_self_describing_jsonl(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        run_scenario(small_scenario(), workers=1, store=ArtifactStore(path))
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds[0] == "begin" and kinds[-1] == "end"
+        begin = json.loads(path.read_text().splitlines()[0])
+        assert Scenario.from_dict(begin["spec"]) == small_scenario()
+
+
+class TestExperimentSuites:
+    def test_table2_suite_names_all_benchmarks(self):
+        from repro.circuits.specs import all_table2_names
+        from repro.experiments.table2 import paper_suite
+
+        suite = paper_suite()
+        assert suite.names() == all_table2_names()
+        assert all(s.samples == 200 for s in suite)
+
+    def test_sweep_suite_covers_rates(self):
+        from repro.experiments.defect_sweep import DEFAULT_RATES, paper_suite
+
+        suite = paper_suite()
+        assert len(suite) == len(DEFAULT_RATES)
+        rates = [s.resolved_defect_model().rate for s in suite]
+        assert rates == [pytest.approx(rate) for rate in DEFAULT_RATES]
+
+    def test_redundancy_suite_levels(self):
+        from repro.experiments.redundancy import (
+            DEFAULT_REDUNDANCY_LEVELS,
+            paper_suite,
+        )
+
+        suite = paper_suite()
+        assert suite.scenarios[0].redundancy == DEFAULT_REDUNDANCY_LEVELS
+
+    def test_figure6_suite_matches_config(self):
+        from repro.experiments.figure6 import Figure6Config, paper_suite
+
+        config = Figure6Config(input_sizes=(8, 9), sample_size=10)
+        suite = paper_suite(config)
+        assert suite.names() == ["figure6-n8", "figure6-n9"]
+        assert all(s.protocol == "area" for s in suite)
+
+    def test_run_figure6_workers_deterministic(self):
+        from repro.experiments.figure6 import Figure6Config, run_figure6
+
+        config = Figure6Config(input_sizes=(7,), sample_size=8, seed=5)
+        serial = run_figure6(config, workers=1)
+        parallel = run_figure6(config, workers=2)
+        assert serial.panels[7].samples == parallel.panels[7].samples
+        assert serial.success_rates() == parallel.success_rates()
+
+    def test_monte_carlo_defect_model_parameter(self):
+        from repro.circuits import get_benchmark
+        from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+        function = get_benchmark("rd53")
+        result = run_mapping_monte_carlo(
+            function,
+            sample_size=3,
+            algorithms=("hybrid",),
+            defect_model="exact-count",
+        )
+        assert result.defect_model["name"] == "exact-count"
+        assert result.outcome("hybrid").samples == 3
+
+    def test_design_map_accepts_model_names(self):
+        from repro import Design
+
+        mapped = Design.from_benchmark("rd53").map(
+            defects="lines", algorithm="hybrid"
+        )
+        assert len(mapped.defect_map) == 0  # no broken lines configured
+        mapped = Design.from_benchmark("rd53").map(
+            defects=create_defect_model("uniform", rate=0.05), seed=2
+        )
+        assert mapped.defect_map.defect_rate() > 0 or len(mapped.defect_map) == 0
+
+
+class TestMarkdownTables:
+    def test_markdown_table_shape(self):
+        from repro.experiments.report import format_table
+
+        text = format_table(
+            ["a", "b"], [[1, "x|y"]], title="T", style="markdown"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "**T**"
+        assert lines[2].startswith("| a | b |")
+        assert set(lines[3].replace("|", "").strip()) <= {"-", " "}
+        assert "x\\|y" in lines[4]
+
+    def test_markdown_without_title(self):
+        from repro.experiments.report import format_table
+
+        text = format_table(["h"], [[1]], style="markdown")
+        assert text.splitlines()[0] == "| h |"
+
+    def test_unknown_style_rejected(self):
+        from repro.experiments.report import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a"], [], style="latex")
