@@ -1,0 +1,114 @@
+"""Throughput of the vectorized Monte-Carlo engine vs the reference path.
+
+Runs the same Table II-sized Monte-Carlo mapping experiment on the
+reference object-per-sample engine and on the batched NumPy kernel,
+verifies the counting statistics are bit-identical, and reports the
+wall-clock speedup.  The acceptance bar for the vectorized engine is a
+>= 3x throughput gain on a Table II-sized workload (one circuit, 200
+samples, 10 % uniform stuck-open defects, HBA + EA).
+
+Standalone script so it can be pointed at any circuit / budget::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized.py
+    PYTHONPATH=src python benchmarks/bench_vectorized.py \
+        --circuits rd53 sao2 ex1010 --samples 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.circuits import get_benchmark
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+
+def _counting_stats(result):
+    return {
+        name: (o.successes, o.samples, o.total_backtracks, o.invalid_mappings)
+        for name, o in result.outcomes.items()
+    }
+
+
+def bench_circuit(name: str, *, samples: int, defect_rate: float,
+                  algorithms: tuple, seed: int, workers: int) -> float:
+    """Benchmark one circuit; returns the vectorized/reference speedup."""
+    function = get_benchmark(name)
+    kwargs = dict(
+        defect_rate=defect_rate,
+        sample_size=samples,
+        algorithms=algorithms,
+        seed=seed,
+        workers=workers,
+    )
+
+    start = time.perf_counter()
+    reference = run_mapping_monte_carlo(function, engine="reference", **kwargs)
+    reference_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized = run_mapping_monte_carlo(function, engine="vectorized", **kwargs)
+    vectorized_elapsed = time.perf_counter() - start
+
+    if _counting_stats(reference) != _counting_stats(vectorized):
+        raise SystemExit(
+            f"FAIL: {name}: counting statistics differ between engines"
+        )
+
+    speedup = (
+        reference_elapsed / vectorized_elapsed if vectorized_elapsed > 0 else 0.0
+    )
+    success = reference.outcome(algorithms[0]).success_rate
+    print(
+        f"{name:10s}: reference {reference_elapsed:7.2f} s | vectorized "
+        f"{vectorized_elapsed:7.2f} s | speedup {speedup:5.1f}x | "
+        f"Psucc[{algorithms[0]}] {success:.0%} | statistics identical"
+    )
+    return speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="+",
+                        default=["rd53", "misex1", "sqrt8", "sao2"],
+                        help="benchmark circuit names")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="Monte-Carlo sample size (default: 200, the paper's)")
+    parser.add_argument("--defect-rate", type=float, default=0.10,
+                        help="stuck-open defect rate (default: 0.10)")
+    parser.add_argument("--algorithms", nargs="+", default=["hybrid", "exact"],
+                        help="registered mapper names (default: hybrid exact)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for BOTH engines (default: 1, "
+                        "so the speedup isolates the kernel)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--require", type=float, default=None,
+                        help="exit non-zero unless the mean speedup reaches "
+                        "this factor (e.g. 3.0)")
+    args = parser.parse_args()
+
+    print(
+        f"{args.samples} samples at {args.defect_rate:.0%} defects, "
+        f"algorithms={args.algorithms}, workers={args.workers}"
+    )
+    speedups = [
+        bench_circuit(
+            name,
+            samples=args.samples,
+            defect_rate=args.defect_rate,
+            algorithms=tuple(args.algorithms),
+            seed=args.seed,
+            workers=args.workers,
+        )
+        for name in args.circuits
+    ]
+    mean = sum(speedups) / len(speedups)
+    print(f"mean speedup: {mean:.1f}x over {len(speedups)} circuit(s)")
+    if args.require is not None and mean < args.require:
+        raise SystemExit(
+            f"FAIL: mean speedup {mean:.1f}x below required {args.require}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -118,10 +118,30 @@ class BatchRunner:
             return 1
         return auto_workers()
 
-    def plan(self, total_items: int, chunk_size: int | None = None) -> BatchPlan:
-        """Resolve workers/chunking for a batch without running it."""
+    def plan(
+        self,
+        total_items: int,
+        chunk_size: int | None = None,
+        *,
+        min_chunk_size: int = 1,
+    ) -> BatchPlan:
+        """Resolve workers/chunking for a batch without running it.
+
+        ``min_chunk_size`` floors the *auto* chunk size — batched
+        engines (e.g. the vectorized Monte-Carlo kernel) amortise fixed
+        per-chunk costs over the chunk, so tiny auto chunks would waste
+        their throughput.  An explicit ``chunk_size`` always wins, and
+        the floor never exceeds the batch itself.
+        """
+        if min_chunk_size < 1:
+            raise ExperimentError(
+                f"min_chunk_size must be >= 1, got {min_chunk_size}"
+            )
         workers = self.resolved_workers(total_items)
-        size = chunk_size or default_chunk_size(total_items, workers)
+        size = chunk_size or max(
+            default_chunk_size(total_items, workers),
+            min(min_chunk_size, max(1, total_items)),
+        )
         chunks = chunk_ranges(total_items, size)
         return BatchPlan(
             total=total_items,

@@ -349,13 +349,16 @@ class Design:
         workers: int | None = None,
         chunk_size: int | None = None,
         defect_model: DefectModel | str | dict | None = None,
+        engine: str = "vectorized",
     ):
         """Run the Monte-Carlo protocol on this design (see
         :func:`repro.experiments.monte_carlo.run_mapping_monte_carlo`).
 
         The design's redundancy carries over; ``workers`` selects the
         parallel batch engine (``None`` = auto); ``defect_model``
-        selects a registered defect model (overriding ``defect_rate``).
+        selects a registered defect model (overriding ``defect_rate``);
+        ``engine`` picks the batched kernel (default) or the
+        object-per-sample reference path.
         """
         from repro.experiments.monte_carlo import run_mapping_monte_carlo
 
@@ -372,6 +375,7 @@ class Design:
             workers=workers,
             chunk_size=chunk_size,
             defect_model=defect_model,
+            engine=engine,
         )
 
 

@@ -330,6 +330,7 @@ def _run_mapping_protocol(
     *,
     workers: int | None,
     chunk_size: int | None,
+    engine: str,
     emit: Callable[[int, dict], None] | None,
 ) -> tuple[list[dict], int]:
     from repro.experiments.monte_carlo import run_mapping_monte_carlo
@@ -350,6 +351,7 @@ def _run_mapping_protocol(
             validate=scenario.options.get("validate", True),
             workers=workers,
             chunk_size=chunk_size,
+            engine=engine,
         )
         used_workers = max(used_workers, monte_carlo.workers)
         row = {
@@ -367,6 +369,7 @@ def run_scenario(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    engine: str = "vectorized",
     force: bool = False,
     store: ArtifactStore | None = None,
 ) -> ScenarioResult:
@@ -381,12 +384,25 @@ def run_scenario(
         ``N`` = process pool); never part of the cache key.
     chunk_size:
         Samples per chunk (default: auto).
+    engine:
+        ``"vectorized"`` (default) or ``"reference"`` — the Monte-Carlo
+        execution engine for ``"mapping"`` scenarios (the ``"area"``
+        protocol has no mapping inner loop and ignores it).  Like
+        ``workers``, the engine is never part of the cache key: both
+        engines produce identical counting statistics, so a cached
+        artifact is engine-agnostic.
     force:
         Recompute even when the store already holds a complete artifact.
     store:
         Optional JSONL artifact store; result rows stream into it and
         matching content hashes short-circuit recomputation.
     """
+    from repro.experiments.monte_carlo import ENGINES
+
+    if engine not in ENGINES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
+        )
     spec_hash = scenario.content_hash()
     if store is not None and not force:
         record = store.load(spec_hash)
@@ -408,7 +424,11 @@ def run_scenario(
         )
     else:
         rows, used_workers = _run_mapping_protocol(
-            scenario, workers=workers, chunk_size=chunk_size, emit=emit
+            scenario,
+            workers=workers,
+            chunk_size=chunk_size,
+            engine=engine,
+            emit=emit,
         )
     elapsed = time.perf_counter() - start
 
@@ -430,6 +450,7 @@ def run_suite(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    engine: str = "vectorized",
     force: bool = False,
     store: ArtifactStore | None = None,
     progress: Callable[[Scenario, ScenarioResult], None] | None = None,
@@ -445,6 +466,7 @@ def run_suite(
             scenario,
             workers=workers,
             chunk_size=chunk_size,
+            engine=engine,
             force=force,
             store=store,
         )

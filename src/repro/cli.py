@@ -5,6 +5,7 @@ defect-rate sweep, the redundancy/yield study, Fig. 6, plus any
 scenario or suite saved as JSON — runs from one command::
 
     python -m repro run table2 --samples 5 --workers 2 --jsonl out.jsonl
+    python -m repro run sweep --engine reference   # object-path ground truth
     python -m repro run my_scenario.json --json
     python -m repro list mappers
 
@@ -140,6 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = run_suite(
         suite,
         workers=args.workers,
+        engine=args.engine,
         force=args.force,
         store=store,
         progress=progress,
@@ -186,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="batch-engine worker processes (default: auto; 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=("vectorized", "reference"),
+        default="vectorized",
+        help=(
+            "Monte-Carlo execution engine: the batched NumPy kernel "
+            "(default) or the per-sample object path; both produce "
+            "identical counting statistics"
+        ),
     )
     run_parser.add_argument(
         "--samples",

@@ -7,6 +7,7 @@ from repro.defects.analysis import (
     naive_mapping_survives,
     naive_survival_probability,
 )
+from repro.defects.batch import DefectBatch, repair_spare_columns
 from repro.defects.defect_map import DefectMap
 from repro.defects.injection import (
     defect_maps_for_monte_carlo,
@@ -23,6 +24,8 @@ __all__ = [
     "DefectProfile",
     "defect_type_from_mode",
     "DefectMap",
+    "DefectBatch",
+    "repair_spare_columns",
     "inject_uniform",
     "inject_exact_count",
     "inject_clustered",

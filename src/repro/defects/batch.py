@@ -1,0 +1,185 @@
+"""Batched defect-map generation for the vectorized Monte-Carlo engine.
+
+The serial Monte-Carlo path materialises one :class:`DefectMap` (and a
+:class:`~repro.mapping.crossbar_matrix.CrossbarMatrix` on top of it) per
+sample.  :class:`DefectBatch` generates a whole chunk of samples at once
+into dense tensors — a ``(samples, rows, columns)`` uint8 availability
+tensor plus per-line stuck-closed masks — that the batched kernel can
+process with single broadcasted NumPy passes.
+
+Determinism contract
+--------------------
+Every sample is injected with the *same* injector call as the serial
+path — ``model.inject(rows, columns, seed=derive_seed(seed, index))``
+with the sample's **global** index — so the generated defect maps are
+bit-identical to the per-object path for any defect model, any worker
+count and any chunking.  The batching happens strictly *after* the RNG
+consumption.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.seeding import derive_seed
+from repro.defects.defect_map import DefectMap
+
+
+def repair_spare_columns(
+    defect_map: DefectMap, required_columns: int
+) -> DefectMap | None:
+    """Steer the design onto the best functional columns (spares present).
+
+    Columns poisoned by stuck-closed defects are skipped; among the
+    remaining ones the ``required_columns`` with the fewest defects are
+    kept (ties broken by position).  Returns the restricted defect map or
+    ``None`` when too few usable columns remain.
+    """
+    usable = defect_map.usable_columns()
+    if len(usable) < required_columns:
+        return None
+    defects_per_column = [0] * defect_map.columns
+    for defect in defect_map:
+        defects_per_column[defect.column] += 1
+    ranked = sorted(usable, key=lambda column: (defects_per_column[column], column))
+    kept = sorted(ranked[:required_columns])
+    return defect_map.restricted_to_columns(kept)
+
+
+@dataclass
+class DefectBatch:
+    """A chunk of defective crossbars in tensor form.
+
+    Attributes
+    ----------
+    start / stop:
+        Global sample-index range of the chunk (``stop - start`` samples).
+    rows / columns:
+        Crossbar dimensions *after* any spare-column repair.
+    maps:
+        The per-sample :class:`DefectMap` objects (post-repair), kept for
+        the object-path fallback; ``None`` where spare-column repair
+        dropped the sample (too few usable columns — an automatic
+        failure for every mapper, before any mapping is attempted).
+    functional:
+        ``(samples, rows, columns)`` uint8 — 1 where the crosspoint is
+        functional.  Rows of dropped samples are left all-ones; they are
+        excluded via :attr:`dropped` before any decision is taken.
+    closed_rows / closed_columns:
+        Boolean masks of lines poisoned by stuck-closed defects.
+    dropped:
+        ``(samples,)`` bool — samples discarded by spare-column repair.
+    """
+
+    start: int
+    stop: int
+    rows: int
+    columns: int
+    maps: list[DefectMap | None]
+    functional: np.ndarray
+    closed_rows: np.ndarray
+    closed_columns: np.ndarray
+    dropped: np.ndarray
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @classmethod
+    def generate(
+        cls,
+        model,
+        rows: int,
+        columns: int,
+        *,
+        seed: int,
+        start: int,
+        stop: int,
+        required_columns: int | None = None,
+    ) -> "DefectBatch":
+        """Inject one chunk of defect maps, bit-identical to the serial path.
+
+        ``model`` is anything with the
+        :meth:`~repro.api.defect_models.DefectModel.inject` protocol.
+        When ``required_columns`` is given and smaller than ``columns``,
+        spare-column repair restricts every map to its best functional
+        columns exactly like the serial Monte-Carlo loop does.
+        """
+        spare_columns = required_columns is not None and columns > required_columns
+        width = required_columns if spare_columns else columns
+        count = stop - start
+        maps: list[DefectMap | None] = []
+        functional = np.ones((count, rows, width), dtype=np.uint8)
+        closed_rows = np.zeros((count, rows), dtype=bool)
+        closed_columns = np.zeros((count, width), dtype=bool)
+        dropped = np.zeros(count, dtype=bool)
+        for offset, index in enumerate(range(start, stop)):
+            defect_map = model.inject(rows, columns, seed=derive_seed(seed, index))
+            if spare_columns:
+                defect_map = repair_spare_columns(defect_map, required_columns)
+                if defect_map is None:
+                    maps.append(None)
+                    dropped[offset] = True
+                    continue
+            maps.append(defect_map)
+            grid, c_rows, c_columns = defect_map.to_arrays()
+            functional[offset] = grid
+            closed_rows[offset] = c_rows
+            closed_columns[offset] = c_columns
+        return cls(
+            start=start,
+            stop=stop,
+            rows=rows,
+            columns=width,
+            maps=maps,
+            functional=functional,
+            closed_rows=closed_rows,
+            closed_columns=closed_columns,
+            dropped=dropped,
+        )
+
+    @classmethod
+    def from_maps(
+        cls, maps: Sequence[DefectMap], *, start: int = 0
+    ) -> "DefectBatch":
+        """Wrap pre-built defect maps of one common size into a batch."""
+        if not maps:
+            raise ValueError("a defect batch needs at least one map")
+        rows, columns = maps[0].rows, maps[0].columns
+        count = len(maps)
+        functional = np.ones((count, rows, columns), dtype=np.uint8)
+        closed_rows = np.zeros((count, rows), dtype=bool)
+        closed_columns = np.zeros((count, columns), dtype=bool)
+        for offset, defect_map in enumerate(maps):
+            if (defect_map.rows, defect_map.columns) != (rows, columns):
+                raise ValueError("all defect maps in a batch must share a size")
+            grid, c_rows, c_columns = defect_map.to_arrays()
+            functional[offset] = grid
+            closed_rows[offset] = c_rows
+            closed_columns[offset] = c_columns
+        return cls(
+            start=start,
+            stop=start + count,
+            rows=rows,
+            columns=columns,
+            maps=list(maps),
+            functional=functional,
+            closed_rows=closed_rows,
+            closed_columns=closed_columns,
+            dropped=np.zeros(count, dtype=bool),
+        )
+
+    def usable_row_counts(self) -> np.ndarray:
+        """Number of non-poisoned rows per sample."""
+        return self.rows - self.closed_rows.sum(axis=1)
+
+    def columns_usable(self, required_columns: int) -> np.ndarray:
+        """Per-sample vectorized ``CrossbarMatrix.columns_are_usable``.
+
+        True when no column of the required span is poisoned by a
+        stuck-closed defect.
+        """
+        span = min(required_columns, self.columns)
+        return ~self.closed_columns[:, :span].any(axis=1)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.crossbar.array import CrossbarArray
 from repro.defects.types import Defect, DefectType, defect_type_from_mode
 from repro.exceptions import DefectError
@@ -143,6 +145,27 @@ class DefectMap:
         for (row, column) in self._defects:
             matrix[row][column] = 0
         return matrix
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array form for the batched kernel: no intermediate Python lists.
+
+        Returns ``(functional, closed_rows, closed_columns)`` where
+        ``functional`` is the uint8 crossbar matrix (1 = functional) and
+        the two boolean vectors mark lines poisoned by stuck-closed
+        defects.  Semantically identical to :meth:`functional_matrix` /
+        :meth:`stuck_closed_rows` / :meth:`stuck_closed_columns`, but
+        fills pre-allocated ndarrays directly so converting a whole
+        Monte-Carlo chunk stays cheap.
+        """
+        functional = np.ones((self._rows, self._columns), dtype=np.uint8)
+        closed_rows = np.zeros(self._rows, dtype=bool)
+        closed_columns = np.zeros(self._columns, dtype=bool)
+        for (row, column), kind in self._defects.items():
+            functional[row, column] = 0
+            if kind == DefectType.STUCK_CLOSED:
+                closed_rows[row] = True
+                closed_columns[column] = True
+        return functional, closed_rows, closed_columns
 
     def apply_to_array(self, array: CrossbarArray) -> CrossbarArray:
         """Inject these defects into a physical array (in place)."""

@@ -21,6 +21,19 @@ mappings — and therefore every success rate) are identical for any
 worker count.  Only the wall-clock runtime fields vary run to run, as
 they always have.
 
+Each chunk runs on one of two engines (``engine=``):
+
+* ``"vectorized"`` (default) — the batched NumPy kernel of
+  :mod:`repro.mapping.batch_kernel`: one defect tensor per chunk, one
+  broadcasted compatibility pass, counting-bound pre-screen, NumPy
+  replicas for the undecided samples; third-party mappers transparently
+  fall back to the object path.
+* ``"reference"`` — the original object-per-sample loop, kept as the
+  ground truth the vectorized engine is differentially tested against.
+
+Both engines consume identical per-sample seed streams and produce
+identical counting statistics; only wall-clock fields differ.
+
 Algorithms are resolved by name through :mod:`repro.api.registry`;
 register new mappers with :func:`repro.api.register_mapper` and they are
 immediately usable here (and in every wrapper) by name.
@@ -37,12 +50,29 @@ from repro.api.defect_models import DefectModel, resolve_defect_model
 from repro.api.registry import Mapper, resolve_mappers
 from repro.api.seeding import derive_seed
 from repro.boolean.function import BooleanFunction
-from repro.defects.defect_map import DefectMap
+from repro.defects.batch import repair_spare_columns
 from repro.defects.types import DefectProfile
 from repro.exceptions import ExperimentError
+from repro.mapping.batch_kernel import map_sample_batch
 from repro.mapping.crossbar_matrix import CrossbarMatrix
 from repro.mapping.function_matrix import FunctionMatrix
 from repro.mapping.validate import validate_assignment
+
+#: Engines a Monte-Carlo chunk can run on.
+ENGINES = ("vectorized", "reference")
+
+#: Floor on the auto chunk size under the vectorized engine: batched
+#: tensor passes need a minimum chunk to amortise, and tiny chunks would
+#: also re-pay the FunctionMatrix build per chunk.
+VECTORIZED_MIN_CHUNK = 32
+
+__all__ = [
+    "ENGINES",
+    "AlgorithmOutcome",
+    "MonteCarloResult",
+    "repair_spare_columns",
+    "run_mapping_monte_carlo",
+]
 
 
 @dataclass
@@ -104,6 +134,9 @@ class MonteCarloResult:
     elapsed_seconds: float = 0.0
     workers: int = 1
     defect_model: dict | None = None
+    #: Which execution engine produced the result.  Pre-engine payloads
+    #: deserialise as "reference" — the behaviour they were computed with.
+    engine: str = "reference"
 
     def outcome(self, algorithm: str) -> AlgorithmOutcome:
         """Aggregated outcome of one algorithm."""
@@ -124,6 +157,7 @@ class MonteCarloResult:
             "elapsed_seconds": self.elapsed_seconds,
             "workers": self.workers,
             "defect_model": self.defect_model,
+            "engine": self.engine,
             "outcomes": {
                 name: outcome.to_dict() for name, outcome in self.outcomes.items()
             },
@@ -139,6 +173,7 @@ class MonteCarloResult:
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
             workers=payload.get("workers", 1),
             defect_model=payload.get("defect_model"),
+            engine=payload.get("engine", "reference"),
             outcomes={
                 name: AlgorithmOutcome.from_dict(entry)
                 for name, entry in payload["outcomes"].items()
@@ -166,10 +201,13 @@ class _ChunkTask:
     start: int
     stop: int
     validate: bool
+    engine: str = "vectorized"
 
 
 def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
     """Map every sample of one chunk; pure function of the task."""
+    if task.engine == "vectorized":
+        return _run_chunk_vectorized(task)
     function_matrix = FunctionMatrix(task.function)
     mappers = task.mappers
     outcomes = {name: AlgorithmOutcome(algorithm=name) for name in mappers}
@@ -201,6 +239,41 @@ def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
     return outcomes
 
 
+def _run_chunk_vectorized(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
+    """Map one chunk on the batched kernel; same outcome shape as serial.
+
+    The kernel's per-sample arrays are folded into the same
+    :class:`AlgorithmOutcome` partials the serial path produces, with the
+    shared batched stages (defect tensor, compatibility pass, pre-screen)
+    attributed evenly across the mappers so runtime totals stay
+    meaningful for throughput reports.
+    """
+    result = map_sample_batch(
+        task.function,
+        task.mappers,
+        task.model,
+        rows=task.rows,
+        columns=task.columns,
+        seed=task.seed,
+        start=task.start,
+        stop=task.stop,
+        validate=task.validate,
+    )
+    shared_share = result.shared_seconds / max(1, len(task.mappers))
+    outcomes = {}
+    for name, batch_outcome in result.outcomes.items():
+        counts = batch_outcome.counting_statistics()
+        outcomes[name] = AlgorithmOutcome(
+            algorithm=name,
+            successes=counts["successes"],
+            samples=counts["samples"],
+            total_runtime=float(batch_outcome.runtime.sum()) + shared_share,
+            total_backtracks=counts["total_backtracks"],
+            invalid_mappings=counts["invalid_mappings"],
+        )
+    return outcomes
+
+
 def run_mapping_monte_carlo(
     function: BooleanFunction,
     *,
@@ -215,6 +288,7 @@ def run_mapping_monte_carlo(
     workers: int | None = None,
     chunk_size: int | None = None,
     defect_model: DefectModel | str | dict | None = None,
+    engine: str = "vectorized",
 ) -> MonteCarloResult:
     """Run the paper's Monte-Carlo mapping protocol on one function.
 
@@ -255,10 +329,22 @@ def run_mapping_monte_carlo(
         whole batch maps in milliseconds, pool start-up dominates and
         ``workers=1`` is faster.
     chunk_size:
-        Samples per chunk (default: auto, ~4 chunks per worker).
+        Samples per chunk (default: auto, ~4 chunks per worker; the
+        vectorized engine additionally floors the auto size so batched
+        passes stay amortised).
+    engine:
+        ``"vectorized"`` (default) runs each chunk on the batched NumPy
+        kernel of :mod:`repro.mapping.batch_kernel`; ``"reference"``
+        runs the original object-per-sample loop.  The two engines are
+        differentially tested to produce identical counting statistics
+        sample-for-sample; only wall-clock fields differ.
     """
     if sample_size <= 0:
         raise ExperimentError("sample_size must be positive")
+    if engine not in ENGINES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
+        )
     function_matrix = FunctionMatrix(function)
     rows = function_matrix.num_rows + extra_rows
     columns = function_matrix.num_columns + extra_columns
@@ -278,7 +364,10 @@ def run_mapping_monte_carlo(
     mappers = resolve_mappers(algorithms)
 
     runner = BatchRunner(workers)
-    plan = runner.plan(sample_size, chunk_size)
+    # Batched passes amortise over chunk size, so the vectorized engine
+    # floors the auto chunk size; explicit chunk_size always wins.
+    min_chunk = VECTORIZED_MIN_CHUNK if engine == "vectorized" else 1
+    plan = runner.plan(sample_size, chunk_size, min_chunk_size=min_chunk)
     tasks = [
         _ChunkTask(
             function=function,
@@ -291,6 +380,7 @@ def run_mapping_monte_carlo(
             start=chunk.start,
             stop=chunk.stop,
             validate=validate,
+            engine=engine,
         )
         for chunk in chunk_ranges(sample_size, plan.chunk_size)
     ]
@@ -302,6 +392,7 @@ def run_mapping_monte_carlo(
         outcomes={name: AlgorithmOutcome(algorithm=name) for name in mappers},
         workers=plan.workers,
         defect_model=model.to_dict(),
+        engine=engine,
     )
 
     start = time.perf_counter()
@@ -311,24 +402,3 @@ def run_mapping_monte_carlo(
     result.elapsed_seconds = time.perf_counter() - start
     result.workers = runner.last_run_workers or 1
     return result
-
-
-def repair_spare_columns(
-    defect_map: DefectMap, required_columns: int
-) -> DefectMap | None:
-    """Steer the design onto the best functional columns (spares present).
-
-    Columns poisoned by stuck-closed defects are skipped; among the
-    remaining ones the ``required_columns`` with the fewest defects are
-    kept (ties broken by position).  Returns the restricted defect map or
-    ``None`` when too few usable columns remain.
-    """
-    usable = defect_map.usable_columns()
-    if len(usable) < required_columns:
-        return None
-    defects_per_column = [0] * defect_map.columns
-    for defect in defect_map:
-        defects_per_column[defect.column] += 1
-    ranked = sorted(usable, key=lambda column: (defects_per_column[column], column))
-    kept = sorted(ranked[:required_columns])
-    return defect_map.restricted_to_columns(kept)

@@ -11,6 +11,12 @@ Public entry points:
   simulating the mapped design on the defective array.
 """
 
+from repro.mapping.batch_kernel import (
+    BatchMapResult,
+    MapperBatchOutcome,
+    map_sample_batch,
+    mapper_kind,
+)
 from repro.mapping.crossbar_matrix import CrossbarMatrix
 from repro.mapping.exact import ExactMapper
 from repro.mapping.function_matrix import FunctionMatrix
@@ -24,6 +30,7 @@ from repro.mapping.matching import (
     MATCH,
     NO_MATCH,
     compatibility_matrix,
+    compatibility_tensor,
     feasible_rows_for,
     matching_matrix,
     quick_infeasibility_check,
@@ -46,7 +53,12 @@ __all__ = [
     "CrossbarMatrix",
     "rows_compatible",
     "compatibility_matrix",
+    "compatibility_tensor",
     "matching_matrix",
+    "map_sample_batch",
+    "mapper_kind",
+    "BatchMapResult",
+    "MapperBatchOutcome",
     "feasible_rows_for",
     "quick_infeasibility_check",
     "MATCH",

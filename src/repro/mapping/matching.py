@@ -58,6 +58,39 @@ def compatibility_matrix(
     return conflicts == 0
 
 
+def compatibility_tensor(
+    fm_rows: np.ndarray, cm_stack: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`compatibility_matrix` over a stack of crossbars.
+
+    ``fm_rows`` is the ``(R, C)`` function matrix, ``cm_stack`` a
+    ``(samples, H, C)`` stack of crossbar matrices; the result is the
+    boolean ``(samples, H, R)`` tensor ``[s, h, r]`` = crossbar row ``h``
+    of sample ``s`` can host FM row ``r``.  One broadcasted matmul
+    replaces the per-sample ``fm & ~cm`` einsum, which is where the
+    vectorized Monte-Carlo engine gets its throughput.
+    """
+    fm_rows = np.asarray(fm_rows)
+    cm_stack = np.asarray(cm_stack)
+    if fm_rows.ndim != 2 or cm_stack.ndim != 3:
+        raise MappingError(
+            f"expected a 2-D FM and a 3-D CM stack, got {fm_rows.shape} "
+            f"and {cm_stack.shape}"
+        )
+    if fm_rows.shape[1] != cm_stack.shape[2]:
+        raise MappingError(
+            f"column count mismatch: FM has {fm_rows.shape[1]}, CM stack "
+            f"has {cm_stack.shape[2]}"
+        )
+    # conflicts[s, h, r] — number of devices FM row r needs that CM row h
+    # of sample s misses; float32 matmul hits BLAS and the counts (< 2^24)
+    # stay exact.
+    missing = (cm_stack == 0).astype(np.float32)
+    needed = (fm_rows != 0).astype(np.float32)
+    conflicts = missing @ needed.T
+    return conflicts == 0
+
+
 def matching_matrix(
     function_matrix: FunctionMatrix | np.ndarray,
     crossbar_matrix: CrossbarMatrix | np.ndarray,
