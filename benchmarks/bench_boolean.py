@@ -1,0 +1,166 @@
+"""Packed vs object Boolean pipeline throughput at Fig. 6 scale.
+
+Runs the Fig. 6 front-end — random-function generation, two-level
+minimisation, area costing and end-to-end functional validation of the
+minimised two-level design — on both Boolean engines, verifies the
+results are bit-identical (covers, costs and validation verdicts), and
+reports the wall-clock speedup.  The acceptance bar for the packed
+kernel is a >= 5x throughput gain at paper scale (input sizes 8..15,
+200 samples per size).
+
+Standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_boolean.py
+    PYTHONPATH=src python benchmarks/bench_boolean.py \
+        --sizes 8 9 10 11 12 13 14 15 --samples 200 --require 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.api.seeding import derive_seed
+from repro.boolean.function import BooleanFunction
+from repro.boolean.minimize import minimize_cover
+from repro.boolean.random_functions import random_single_output_function
+from repro.crossbar.simulator import verify_layout
+from repro.crossbar.two_level import (
+    TwoLevelDesign,
+    two_level_area_cost,
+    two_level_area_cost_batch,
+)
+from repro.experiments.figure6 import Figure6Config
+
+#: Engine name → (boolean engine, simulator engine) per pipeline stage.
+ENGINE_STAGES = {"packed": ("packed", "batch"), "object": ("object", "object")}
+
+
+def run_pipeline(
+    num_inputs: int, samples: int, *, seed: int, engine: str
+) -> tuple[float, list[tuple]]:
+    """One engine's full pipeline over one input size.
+
+    Returns ``(elapsed_seconds, per-sample result tuples)``; the tuples
+    carry everything the differential check compares.
+    """
+    boolean_engine, simulator_engine = ENGINE_STAGES[engine]
+    spec = Figure6Config().spec_for(num_inputs)
+    results = []
+    start = time.perf_counter()
+    for index in range(samples):
+        function = random_single_output_function(
+            spec,
+            seed=derive_seed(seed, "random-function", index),
+            engine=boolean_engine,
+        )
+        cover = minimize_cover(
+            function.cover_for_output(0), engine=boolean_engine
+        )
+        minimized = BooleanFunction.single_output(
+            cover, input_names=function.input_names, name=function.name
+        )
+        area = two_level_area_cost(num_inputs, 1, minimized.num_products)
+        design = TwoLevelDesign(minimized)
+        valid = verify_layout(design.layout, function, engine=simulator_engine)
+        results.append((cover.to_strings(), area, valid))
+    return time.perf_counter() - start, results
+
+
+def collect(
+    *, sizes=(8, 10, 12, 15), samples=50, seed=7, verbose=True
+) -> dict:
+    """Run the benchmark and return machine-readable metrics."""
+    per_size = []
+    object_total = packed_total = 0.0
+    for num_inputs in sizes:
+        object_elapsed, object_results = run_pipeline(
+            num_inputs, samples, seed=seed, engine="object"
+        )
+        packed_elapsed, packed_results = run_pipeline(
+            num_inputs, samples, seed=seed, engine="packed"
+        )
+        if object_results != packed_results:
+            raise SystemExit(
+                f"FAIL: n={num_inputs}: packed and object pipelines disagree"
+            )
+        # Cross-check: recompute every sample's area in one vectorized call.
+        batched_areas = two_level_area_cost_batch(
+            num_inputs, 1, [len(cover) for cover, _, _ in packed_results]
+        )
+        if [int(a) for a in batched_areas] != [a for _, a, _ in packed_results]:
+            raise SystemExit(
+                f"FAIL: n={num_inputs}: batched area costs disagree"
+            )
+        speedup = object_elapsed / packed_elapsed if packed_elapsed else 0.0
+        object_total += object_elapsed
+        packed_total += packed_elapsed
+        per_size.append(
+            {
+                "num_inputs": num_inputs,
+                "samples": samples,
+                "object_seconds": round(object_elapsed, 4),
+                "packed_seconds": round(packed_elapsed, 4),
+                "speedup": round(speedup, 2),
+            }
+        )
+        if verbose:
+            print(
+                f"n={num_inputs:2d}: object {object_elapsed:7.2f} s | packed "
+                f"{packed_elapsed:7.2f} s | speedup {speedup:5.1f}x | "
+                "results identical"
+            )
+    overall = object_total / packed_total if packed_total else 0.0
+    if verbose:
+        print(
+            f"overall: object {object_total:.2f} s | packed {packed_total:.2f} s "
+            f"| speedup {overall:.1f}x"
+        )
+    return {
+        "benchmark": "boolean",
+        "sizes": list(sizes),
+        "samples": samples,
+        "seed": seed,
+        "per_size": per_size,
+        "object_seconds": round(object_total, 4),
+        "packed_seconds": round(packed_total, 4),
+        "speedup": round(overall, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        default=[8, 10, 12, 15],
+        help="input sizes to benchmark (paper scale: 8..15)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=50,
+        help="random functions per input size (paper scale: 200)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--require",
+        type=float,
+        default=None,
+        help="exit non-zero unless the overall speedup reaches this factor "
+        "(e.g. 5.0)",
+    )
+    args = parser.parse_args()
+    metrics = collect(
+        sizes=tuple(args.sizes), samples=args.samples, seed=args.seed
+    )
+    if args.require is not None and metrics["speedup"] < args.require:
+        raise SystemExit(
+            f"FAIL: overall speedup {metrics['speedup']:.1f}x below required "
+            f"{args.require}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

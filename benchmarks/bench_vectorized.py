@@ -67,6 +67,38 @@ def bench_circuit(name: str, *, samples: int, defect_rate: float,
     return speedup
 
 
+def collect(
+    *,
+    circuits=("rd53", "misex1"),
+    samples=60,
+    defect_rate=0.10,
+    algorithms=("hybrid", "exact"),
+    seed=7,
+    workers=1,
+) -> dict:
+    """Run the benchmark and return machine-readable metrics."""
+    speedups = {
+        name: bench_circuit(
+            name,
+            samples=samples,
+            defect_rate=defect_rate,
+            algorithms=tuple(algorithms),
+            seed=seed,
+            workers=workers,
+        )
+        for name in circuits
+    }
+    return {
+        "benchmark": "vectorized",
+        "circuits": list(circuits),
+        "samples": samples,
+        "defect_rate": defect_rate,
+        "seed": seed,
+        "per_circuit": {name: round(s, 2) for name, s in speedups.items()},
+        "speedup": round(sum(speedups.values()) / len(speedups), 2),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--circuits", nargs="+",

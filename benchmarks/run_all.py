@@ -1,0 +1,120 @@
+"""One-command benchmark runner with a machine-readable perf trajectory.
+
+Runs the kernel benchmarks (currently the bit-packed Boolean pipeline
+and the vectorized Monte-Carlo mapping kernel) at a quick default scale
+and — with ``--json`` — appends each run's metrics to a per-benchmark
+trajectory file ``benchmarks/results/BENCH_<name>.json``::
+
+    PYTHONPATH=src python benchmarks/run_all.py --json
+    PYTHONPATH=src python benchmarks/run_all.py --json --suites boolean
+    PYTHONPATH=src python benchmarks/run_all.py --samples 200 --json
+
+Each trajectory file holds ``{"benchmark": ..., "runs": [...]}`` where
+every run records its UTC timestamp, the git commit it measured, the
+workload parameters and the speedups — so performance history is
+recorded across PRs instead of living in terminal scrollback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def git_commit() -> str:
+    """The current commit hash, or "unknown" outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _run_boolean(samples: int) -> dict:
+    from bench_boolean import collect
+
+    return collect(samples=samples)
+
+
+def _run_vectorized(samples: int) -> dict:
+    from bench_vectorized import collect
+
+    return collect(samples=samples)
+
+
+#: Benchmark name → runner(samples) returning a metrics dict.
+SUITES = {
+    "boolean": _run_boolean,
+    "vectorized": _run_vectorized,
+}
+
+
+def append_trajectory(name: str, metrics: dict) -> Path:
+    """Append one run record to ``BENCH_<name>.json`` (created on demand)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {"benchmark": name, "runs": []}
+    payload["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "commit": git_commit(),
+            **metrics,
+        }
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suites",
+        nargs="+",
+        choices=sorted(SUITES),
+        default=sorted(SUITES),
+        help="benchmarks to run (default: all)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=30,
+        help="samples per benchmark point (default: 30, a quick pass)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="append each run's metrics to benchmarks/results/BENCH_<name>.json",
+    )
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    for name in args.suites:
+        print(f"== {name} ==")
+        metrics = SUITES[name](args.samples)
+        if args.json:
+            path = append_trajectory(name, metrics)
+            print(f"recorded run in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

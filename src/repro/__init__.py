@@ -48,7 +48,16 @@ from repro.api.results import EvaluationResult
 from repro.api.runner import ScenarioResult, SuiteResult, run_scenario, run_suite
 from repro.api.scenarios import FunctionSource, Scenario, ScenarioSuite
 from repro.api.seeding import derive_seed
-from repro.boolean import BooleanFunction, Cover, Cube, parse_pla, parse_sop
+from repro.boolean import (
+    BooleanFunction,
+    Cover,
+    Cube,
+    PackedCover,
+    PackedTruthTable,
+    minimize_cover,
+    parse_pla,
+    parse_sop,
+)
 from repro.circuits import get_benchmark, list_benchmarks
 from repro.crossbar import (
     CrossbarArray,
@@ -58,7 +67,9 @@ from repro.crossbar import (
     choose_dual,
     evaluate_multi_level,
     evaluate_two_level,
+    evaluate_two_level_batch,
     two_level_area_cost,
+    two_level_area_cost_batch,
     verify_layout,
 )
 from repro.defects import DefectMap, DefectProfile, DefectType, inject_uniform
@@ -111,6 +122,9 @@ __all__ = [
     "derive_seed",
     "Cube",
     "Cover",
+    "PackedCover",
+    "PackedTruthTable",
+    "minimize_cover",
     "BooleanFunction",
     "parse_sop",
     "parse_pla",
@@ -119,8 +133,10 @@ __all__ = [
     "CrossbarArray",
     "CrossbarController",
     "two_level_area_cost",
+    "two_level_area_cost_batch",
     "choose_dual",
     "evaluate_two_level",
+    "evaluate_two_level_batch",
     "evaluate_multi_level",
     "verify_layout",
     "NandNetwork",

@@ -228,6 +228,15 @@ class SuiteResult:
 # sample indices with derive_seed streams, merged in chunk order — the
 # same determinism contract as the Monte-Carlo mapping engine.
 # ----------------------------------------------------------------------
+#: Pipeline engine → Boolean kernel engine for the area protocol.
+_AREA_BOOLEAN_ENGINES = {"vectorized": "packed", "reference": "object"}
+
+
+def _area_boolean_engine(engine: str) -> str:
+    """Map a pipeline engine name onto the Boolean kernel it selects."""
+    return _AREA_BOOLEAN_ENGINES.get(engine, "auto")
+
+
 @dataclass(frozen=True)
 class _AreaChunkTask:
     """Picklable description of one chunk of the area sample stream."""
@@ -237,6 +246,7 @@ class _AreaChunkTask:
     start: int
     stop: int
     minimize_before_synthesis: bool
+    engine: str = "packed"
 
 
 def _run_area_chunk(task: _AreaChunkTask) -> list[dict]:
@@ -248,10 +258,14 @@ def _run_area_chunk(task: _AreaChunkTask) -> list[dict]:
     rows = []
     for index in range(task.start, task.stop):
         function = random_single_output_function(
-            spec, seed=derive_seed(task.seed, "random-function", index)
+            spec,
+            seed=derive_seed(task.seed, "random-function", index),
+            engine=task.engine,
         )
         sample = evaluate_sample(
-            function, minimize_before_synthesis=task.minimize_before_synthesis
+            function,
+            minimize_before_synthesis=task.minimize_before_synthesis,
+            engine=task.engine,
         )
         rows.append(
             {
@@ -270,8 +284,10 @@ def _run_area_protocol(
     *,
     workers: int | None,
     chunk_size: int | None,
+    engine: str,
     emit: Callable[[int, dict], None] | None,
 ) -> tuple[list[dict], int]:
+    boolean_engine = _area_boolean_engine(engine)
     if scenario.source.kind != "random":
         # A fixed function has nothing to sample: evaluate it once.
         from repro.experiments.figure6 import evaluate_sample
@@ -281,6 +297,7 @@ def _run_area_protocol(
             minimize_before_synthesis=scenario.options.get(
                 "minimize_before_synthesis", True
             ),
+            engine=boolean_engine,
         )
         row = {
             "index": 0,
@@ -303,6 +320,7 @@ def _run_area_protocol(
             minimize_before_synthesis=scenario.options.get(
                 "minimize_before_synthesis", True
             ),
+            engine=boolean_engine,
         )
         for chunk in chunk_ranges(scenario.samples, plan.chunk_size)
     ]
@@ -385,11 +403,13 @@ def run_scenario(
     chunk_size:
         Samples per chunk (default: auto).
     engine:
-        ``"vectorized"`` (default) or ``"reference"`` — the Monte-Carlo
-        execution engine for ``"mapping"`` scenarios (the ``"area"``
-        protocol has no mapping inner loop and ignores it).  Like
-        ``workers``, the engine is never part of the cache key: both
-        engines produce identical counting statistics, so a cached
+        ``"vectorized"`` (default), ``"packed"`` (an alias for
+        ``"vectorized"``) or ``"reference"`` — the execution engine.
+        For ``"mapping"`` scenarios it selects the Monte-Carlo kernel;
+        for ``"area"`` scenarios it selects the Boolean bit-plane kernel
+        (``"vectorized"``/``"packed"``) or the object reference path.
+        Like ``workers``, the engine is never part of the cache key:
+        both engines produce identical counting statistics, so a cached
         artifact is engine-agnostic.
     force:
         Recompute even when the store already holds a complete artifact.
@@ -399,9 +419,12 @@ def run_scenario(
     """
     from repro.experiments.monte_carlo import ENGINES
 
+    if engine == "packed":
+        engine = "vectorized"
     if engine not in ENGINES:
         raise ExperimentError(
-            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
+            f"unknown engine {engine!r}; expected one of "
+            f"{list(ENGINES) + ['packed']}"
         )
     spec_hash = scenario.content_hash()
     if store is not None and not force:
@@ -420,7 +443,11 @@ def run_scenario(
     start = time.perf_counter()
     if scenario.protocol == "area":
         rows, used_workers = _run_area_protocol(
-            scenario, workers=workers, chunk_size=chunk_size, emit=emit
+            scenario,
+            workers=workers,
+            chunk_size=chunk_size,
+            engine=engine,
+            emit=emit,
         )
     else:
         rows, used_workers = _run_mapping_protocol(

@@ -17,12 +17,23 @@ from repro.boolean.cube import DONT_CARE, NEGATIVE, POSITIVE, Cube
 from repro.boolean.expression import function_from_expressions, parse_sop
 from repro.boolean.function import BooleanFunction, Product
 from repro.boolean.minimize import (
+    BOOLEAN_ENGINES,
     expand_cover,
     irredundant_cover,
     merge_distance_one,
     minimize_cover,
     prime_implicants,
     quine_mccluskey,
+    resolve_boolean_engine,
+)
+from repro.boolean.packed import (
+    PackedCover,
+    PackedTruthTable,
+    bit_planes,
+    evaluate_function_batch,
+    merge_distance_one_packed,
+    minimize_cover_packed,
+    prime_implicants_packed,
 )
 from repro.boolean.pla import load_pla, parse_pla, save_pla, write_pla
 from repro.boolean.random_functions import (
@@ -40,6 +51,7 @@ from repro.boolean.truth_table import (
     functions_agree,
     index_to_assignment,
     sample_assignments,
+    verification_assignment_matrix,
     verification_assignments,
 )
 
@@ -54,7 +66,16 @@ __all__ = [
     "complement_cover",
     "complement_cube",
     "ComplementOverflowError",
+    "BOOLEAN_ENGINES",
+    "resolve_boolean_engine",
     "minimize_cover",
+    "minimize_cover_packed",
+    "merge_distance_one_packed",
+    "prime_implicants_packed",
+    "PackedCover",
+    "PackedTruthTable",
+    "bit_planes",
+    "evaluate_function_batch",
     "merge_distance_one",
     "expand_cover",
     "irredundant_cover",
@@ -75,6 +96,7 @@ __all__ = [
     "all_assignments",
     "sample_assignments",
     "verification_assignments",
+    "verification_assignment_matrix",
     "index_to_assignment",
     "assignment_to_index",
     "functions_agree",

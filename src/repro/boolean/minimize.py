@@ -14,6 +14,19 @@ IRREDUNDANT → merge) plus an exact Quine–McCluskey minimiser for small
 input counts.  The heuristic never changes the function (each step is
 verified by containment against the original cover's semantics) and is
 deterministic.
+
+Both minimisers run on one of two engines (``engine=``):
+
+* ``"packed"`` — the ``uint64`` bit-plane kernels of
+  :mod:`repro.boolean.packed`: containment and tautology probes become
+  wide bitwise operations on packed truth tables, with cube-for-cube
+  identical results;
+* ``"object"`` — the original :class:`Cube`/:class:`Cover` walk, kept as
+  the differential reference.
+
+``engine="auto"`` (the default) picks the packed engine whenever the
+input count fits the truth-table kernels, so existing callers get the
+speedup transparently without any observable change.
 """
 
 from __future__ import annotations
@@ -24,19 +37,51 @@ from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube
 from repro.exceptions import BooleanFunctionError
 
+#: Engines the minimisers accept (``"auto"`` resolves per input count).
+BOOLEAN_ENGINES = ("auto", "packed", "object")
+
+
+def resolve_boolean_engine(engine: str, num_inputs: int) -> str:
+    """Resolve ``engine=`` into ``"packed"`` or ``"object"``.
+
+    ``"auto"`` selects the packed kernels whenever the input count fits
+    their truth-table budget (1..``PACKED_INPUT_LIMIT``); explicit
+    choices are validated but honoured as-is except that ``"packed"``
+    silently degrades to ``"object"`` outside the supported width, so
+    callers never have to special-case tiny or huge covers.
+    """
+    if engine not in BOOLEAN_ENGINES:
+        raise BooleanFunctionError(
+            f"unknown boolean engine {engine!r}; expected one of "
+            f"{list(BOOLEAN_ENGINES)}"
+        )
+    from repro.boolean.packed import PACKED_INPUT_LIMIT
+
+    if not 1 <= num_inputs <= PACKED_INPUT_LIMIT:
+        return "object"
+    return "object" if engine == "object" else "packed"
+
 
 # ----------------------------------------------------------------------
 # Heuristic minimisation (espresso-lite)
 # ----------------------------------------------------------------------
-def minimize_cover(cover: Cover, *, max_passes: int = 4) -> Cover:
+def minimize_cover(
+    cover: Cover, *, max_passes: int = 4, engine: str = "auto"
+) -> Cover:
     """Heuristically minimise a cover without changing its function.
 
     The loop applies cube merging, literal expansion and irredundant-cover
     extraction until a pass makes no further progress (or ``max_passes`` is
     reached).  The result covers exactly the same minterms as the input.
+    ``engine`` selects the packed bitset kernels or the object reference
+    path (identical results; see the module docstring).
     """
     if cover.is_empty() or cover.has_full_dont_care():
         return cover.without_contained_cubes()
+    if resolve_boolean_engine(engine, cover.num_inputs) == "packed":
+        from repro.boolean.packed import minimize_cover_packed
+
+        return minimize_cover_packed(cover, max_passes=max_passes)
 
     current = cover.without_contained_cubes()
     for _ in range(max_passes):
@@ -139,13 +184,19 @@ def prime_implicants(num_inputs: int, minterms: Iterable[int]) -> list[Cube]:
 
 
 def quine_mccluskey(
-    num_inputs: int, minterms: Iterable[int], *, exact_limit: int = 18
+    num_inputs: int,
+    minterms: Iterable[int],
+    *,
+    exact_limit: int = 18,
+    engine: str = "auto",
 ) -> Cover:
     """Minimal (or near-minimal) cover of the given on-set.
 
     Essential prime implicants are always selected; the residual covering
     problem is solved exactly by branch-and-bound when it has at most
-    ``exact_limit`` candidate primes, and greedily otherwise.
+    ``exact_limit`` candidate primes, and greedily otherwise.  ``engine``
+    selects the packed or object prime-implicant front-end (identical
+    primes and coverage sets, so the selection below is engine-agnostic).
     """
     minterm_list = sorted(set(int(m) for m in minterms))
     if not minterm_list:
@@ -157,11 +208,22 @@ def quine_mccluskey(
             "quine_mccluskey is limited to 20 inputs; use minimize_cover instead"
         )
 
-    primes = prime_implicants(num_inputs, minterm_list)
-    coverage = {
-        prime: frozenset(m for m in prime.minterms() if m in set(minterm_list))
-        for prime in primes
-    }
+    if resolve_boolean_engine(engine, num_inputs) == "packed":
+        from repro.boolean.packed import (
+            prime_coverage_packed,
+            prime_implicants_packed,
+        )
+
+        primes = prime_implicants_packed(num_inputs, minterm_list)
+        coverage = prime_coverage_packed(num_inputs, primes, minterm_list)
+    else:
+        primes = prime_implicants(num_inputs, minterm_list)
+        coverage = {
+            prime: frozenset(
+                m for m in prime.minterms() if m in set(minterm_list)
+            )
+            for prime in primes
+        }
 
     remaining = set(minterm_list)
     chosen: list[Cube] = []

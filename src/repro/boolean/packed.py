@@ -1,0 +1,831 @@
+"""Bit-packed Boolean kernels: NumPy ``uint64`` bit-plane covers.
+
+Espresso-lineage minimisers (espresso, MV-SIS) owe their speed to
+positional-cube *bitset* kernels: a cube is two machine-word planes
+(literal mask + polarity), a truth table is a packed minterm bitmap, and
+every containment / tautology / coverage question becomes a handful of
+wide bitwise operations instead of a recursive object walk.  This module
+brings that representation to the library:
+
+* :func:`bit_planes` — the cached ``(n, W)`` ``uint64`` variable planes
+  (bit ``i`` of plane ``j`` is input ``j``'s value under assignment
+  ``i``), the broadcast basis of every truth-table kernel;
+* :class:`PackedCover` — a cover as ``(k, n)`` mask/polarity planes with
+  vectorized containment, cofactoring, tautology, coverage and
+  whole-cover truth-table evaluation over all ``2**n`` assignments in
+  one broadcasted pass;
+* :class:`PackedTruthTable` — a packed minterm bitmap with set algebra;
+* :func:`minimize_cover_packed` / :func:`prime_implicants_packed` — the
+  packed engines behind :func:`repro.boolean.minimize.minimize_cover`
+  and :func:`~repro.boolean.minimize.quine_mccluskey`.
+
+Parity contract
+---------------
+The packed engines are drop-in replacements for the object path, not
+approximations: every predicate they replace (``Cube.contains``,
+``Cube.merge``, ``Cover.covers_cube`` …) is computed with identical
+semantics, and the per-pass control flow of the minimiser — including
+Python's stable sort ties and the ``frozenset`` iteration order the
+object implementation leans on in ``expand_cover`` — is replicated
+exactly, so the resulting covers are equal cube-for-cube.  The object
+path stays as the differential reference; ``tests/test_boolean_packed``
+pins the two together.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import DONT_CARE, Cube
+from repro.exceptions import BooleanFunctionError
+
+#: Largest input count the truth-table kernels handle (``2**n`` bits per
+#: table; 20 matches the Quine-McCluskey limit of the object path).
+PACKED_INPUT_LIMIT = 20
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+def _check_width(num_inputs: int) -> None:
+    if not 1 <= num_inputs <= PACKED_INPUT_LIMIT:
+        raise BooleanFunctionError(
+            f"packed truth-table kernels support 1..{PACKED_INPUT_LIMIT} "
+            f"inputs, got {num_inputs}"
+        )
+
+
+def table_words(num_inputs: int) -> int:
+    """Number of ``uint64`` words in a packed ``2**num_inputs``-bit table."""
+    return max(1, (1 << num_inputs) >> 6)
+
+
+@functools.lru_cache(maxsize=PACKED_INPUT_LIMIT + 1)
+def tail_mask(num_inputs: int) -> np.ndarray:
+    """The ``(W,)`` mask of valid bits (all ones beyond ``n >= 6``)."""
+    _check_width(num_inputs)
+    words = table_words(num_inputs)
+    mask = np.full(words, _ALL_ONES, dtype=np.uint64)
+    if num_inputs < 6:
+        mask[0] = np.uint64((1 << (1 << num_inputs)) - 1)
+    mask.setflags(write=False)
+    return mask
+
+
+@functools.lru_cache(maxsize=PACKED_INPUT_LIMIT + 1)
+def bit_planes(num_inputs: int) -> np.ndarray:
+    """The ``(n, W)`` variable bit planes over all ``2**n`` assignments.
+
+    Bit ``i`` of ``planes[j]`` is 1 iff assignment index ``i`` sets input
+    ``j`` (the library-wide LSB-first convention).  Words are generated
+    analytically — inside one word variable ``j < 6`` is a fixed 64-bit
+    pattern, and for ``j >= 6`` whole words alternate — so no ``2**n``
+    index array is ever materialised.
+    """
+    _check_width(num_inputs)
+    words = table_words(num_inputs)
+    planes = np.zeros((num_inputs, words), dtype=np.uint64)
+    word_index = np.arange(words, dtype=np.uint64)
+    for variable in range(num_inputs):
+        if variable < 6:
+            pattern = 0
+            for bit in range(_WORD_BITS):
+                if (bit >> variable) & 1:
+                    pattern |= 1 << bit
+            planes[variable, :] = np.uint64(pattern)
+        else:
+            odd = (word_index >> np.uint64(variable - 6)) & np.uint64(1)
+            planes[variable] = np.where(odd == 1, _ALL_ONES, np.uint64(0))
+    planes &= tail_mask(num_inputs)
+    planes.setflags(write=False)
+    return planes
+
+
+def _bit_indices(words: np.ndarray) -> np.ndarray:
+    """Indices of the set bits of a packed bitmap (ascending)."""
+    bits = np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8), bitorder="little"
+    )
+    return np.flatnonzero(bits)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits in a packed bitmap."""
+    return int(np.bitwise_count(words).sum())
+
+
+def _values_from_cubes(num_inputs: int, cubes: Iterable[Cube]) -> np.ndarray:
+    rows = [cube.values for cube in cubes]
+    if not rows:
+        return np.zeros((0, num_inputs), dtype=np.uint8)
+    return np.array(rows, dtype=np.uint8)
+
+
+def _row_table(row: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Packed truth table of one positional cube (``(W,)`` uint64)."""
+    planes = bit_planes(num_inputs)
+    mask = tail_mask(num_inputs)
+    literals = np.flatnonzero(row != DONT_CARE)
+    if literals.size == 0:
+        return mask.copy()
+    terms = np.where(
+        (row[literals] == 1)[:, None],
+        planes[literals],
+        ~planes[literals] & mask,
+    )
+    return np.bitwise_and.reduce(terms, axis=0)
+
+
+def _values_tables(values: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Packed truth tables of every cube row (``(k, W)`` uint64).
+
+    One broadcasted AND per variable (masked to the cubes carrying that
+    literal), so the pass is ``O(n)`` ufunc calls regardless of the cube
+    count and never materialises a ``(k, n, W)`` intermediate.
+    """
+    words = table_words(num_inputs)
+    k = values.shape[0]
+    if k == 0:
+        return np.zeros((0, words), dtype=np.uint64)
+    planes = bit_planes(num_inputs)
+    mask = tail_mask(num_inputs)
+    tables = np.tile(mask, (k, 1))
+    for variable in range(num_inputs):
+        column = values[:, variable]
+        positive = column == 1
+        if positive.any():
+            tables[positive] &= planes[variable]
+        negative = column == 0
+        if negative.any():
+            tables[negative] &= ~planes[variable] & mask
+    return tables
+
+
+def _row_strings(values: np.ndarray) -> list[str]:
+    """PLA-style text of every cube row (matches ``Cube.to_string``)."""
+    chars = np.array(["0", "1", "-"], dtype="U1")[values]
+    return ["".join(row) for row in chars]
+
+
+def _contains_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``out[i, j]`` — cube row ``a[i]`` contains cube row ``b[j]``."""
+    left = a[:, None, :]
+    right = b[None, :, :]
+    position_ok = (left == DONT_CARE) | (right == left)
+    return position_ok.all(axis=2)
+
+
+class PackedTruthTable:
+    """A packed ``2**n``-bit minterm bitmap with set algebra."""
+
+    __slots__ = ("_num_inputs", "_words")
+
+    def __init__(self, num_inputs: int, words: np.ndarray):
+        _check_width(num_inputs)
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (table_words(num_inputs),):
+            raise BooleanFunctionError(
+                f"expected {table_words(num_inputs)} words for "
+                f"{num_inputs} inputs, got shape {words.shape}"
+            )
+        self._num_inputs = int(num_inputs)
+        self._words = words & tail_mask(num_inputs)
+        self._words.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cover(cls, cover: "Cover | PackedCover") -> "PackedTruthTable":
+        """The packed truth table of a (packed or object) cover."""
+        packed = cover if isinstance(cover, PackedCover) else PackedCover.from_cover(cover)
+        return cls(packed.num_inputs, packed.table())
+
+    @classmethod
+    def from_minterms(
+        cls, num_inputs: int, minterms: Iterable[int]
+    ) -> "PackedTruthTable":
+        """A bitmap with exactly the given minterm bits set."""
+        _check_width(num_inputs)
+        words = np.zeros(table_words(num_inputs), dtype=np.uint64)
+        indices = np.fromiter((int(m) for m in minterms), dtype=np.int64, count=-1)
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= (1 << num_inputs):
+                raise BooleanFunctionError(
+                    f"minterm out of range for {num_inputs} inputs"
+                )
+            np.bitwise_or.at(
+                words,
+                indices >> 6,
+                np.uint64(1) << (indices & 63).astype(np.uint64),
+            )
+        return cls(num_inputs, words)
+
+    @classmethod
+    def zero(cls, num_inputs: int) -> "PackedTruthTable":
+        """The constant-0 bitmap."""
+        return cls(num_inputs, np.zeros(table_words(num_inputs), dtype=np.uint64))
+
+    @classmethod
+    def one(cls, num_inputs: int) -> "PackedTruthTable":
+        """The constant-1 bitmap."""
+        return cls(num_inputs, tail_mask(num_inputs).copy())
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables."""
+        return self._num_inputs
+
+    @property
+    def words(self) -> np.ndarray:
+        """The packed ``uint64`` words (read-only view)."""
+        return self._words
+
+    def _coerce(self, other: "PackedTruthTable") -> np.ndarray:
+        if not isinstance(other, PackedTruthTable):
+            raise BooleanFunctionError("expected a PackedTruthTable")
+        if other._num_inputs != self._num_inputs:
+            raise BooleanFunctionError(
+                f"truth-table width mismatch: {self._num_inputs} vs "
+                f"{other._num_inputs}"
+            )
+        return other._words
+
+    def __or__(self, other: "PackedTruthTable") -> "PackedTruthTable":
+        return PackedTruthTable(self._num_inputs, self._words | self._coerce(other))
+
+    def __and__(self, other: "PackedTruthTable") -> "PackedTruthTable":
+        return PackedTruthTable(self._num_inputs, self._words & self._coerce(other))
+
+    def __invert__(self) -> "PackedTruthTable":
+        return PackedTruthTable(self._num_inputs, ~self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTruthTable):
+            return NotImplemented
+        return self._num_inputs == other._num_inputs and bool(
+            (self._words == other._words).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_inputs, self._words.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedTruthTable(n={self._num_inputs}, "
+            f"minterms={self.count()}/{1 << self._num_inputs})"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of covered minterms (population count)."""
+        return popcount(self._words)
+
+    def is_zero(self) -> bool:
+        """True for the constant-0 bitmap."""
+        return not self._words.any()
+
+    def is_tautology(self) -> bool:
+        """True when every assignment is covered."""
+        return bool((self._words == tail_mask(self._num_inputs)).all())
+
+    def covers(self, other: "PackedTruthTable") -> bool:
+        """True if this bitmap is a superset of ``other``."""
+        words = self._coerce(other)
+        return not (words & ~self._words).any()
+
+    def minterms(self) -> list[int]:
+        """The covered minterm indices, ascending."""
+        return [int(m) for m in _bit_indices(self._words)]
+
+    def to_list(self) -> list[bool]:
+        """Expand to the ``Cover.truth_table()`` list-of-bool form."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return [bool(b) for b in bits[: 1 << self._num_inputs]]
+
+
+class PackedCover:
+    """A cover as ``(k, n)`` positional-cube planes with bitset kernels.
+
+    ``values`` uses the same 0/1/2 positional-cube encoding as
+    :class:`~repro.boolean.cube.Cube`; :attr:`care` and
+    :attr:`polarity` expose the classical mask/polarity bit-plane view.
+    Instances are immutable; every transformation returns a new cover.
+    """
+
+    __slots__ = ("_num_inputs", "_values", "_tables")
+
+    def __init__(self, num_inputs: int, values: np.ndarray):
+        _check_width(num_inputs)
+        values = np.ascontiguousarray(values, dtype=np.uint8)
+        if values.ndim != 2 or values.shape[1] != num_inputs:
+            raise BooleanFunctionError(
+                f"values must have shape (k, {num_inputs}), got {values.shape}"
+            )
+        if values.size and values.max() > DONT_CARE:
+            raise BooleanFunctionError("cube entries must be 0, 1 or 2")
+        self._num_inputs = int(num_inputs)
+        self._values = values
+        self._values.setflags(write=False)
+        self._tables: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cover(cls, cover: Cover) -> "PackedCover":
+        """Pack an object :class:`~repro.boolean.cover.Cover`."""
+        return cls(
+            cover.num_inputs, _values_from_cubes(cover.num_inputs, cover.cubes)
+        )
+
+    @classmethod
+    def from_cubes(cls, num_inputs: int, cubes: Iterable[Cube]) -> "PackedCover":
+        """Pack an iterable of cubes (order preserved, no deduplication)."""
+        return cls(num_inputs, _values_from_cubes(num_inputs, cubes))
+
+    @classmethod
+    def from_minterms(
+        cls, num_inputs: int, minterms: Iterable[int]
+    ) -> "PackedCover":
+        """One minterm cube per integer, in iteration order."""
+        indices = np.fromiter((int(m) for m in minterms), dtype=np.int64, count=-1)
+        if indices.size and (indices.min() < 0 or indices.max() >= (1 << num_inputs)):
+            raise BooleanFunctionError(
+                f"minterm out of range for {num_inputs} inputs"
+            )
+        bits = np.arange(num_inputs, dtype=np.int64)
+        values = ((indices[:, None] >> bits[None, :]) & 1).astype(np.uint8)
+        return cls(num_inputs, values)
+
+    def to_cover(self) -> Cover:
+        """Rebuild the object cover (cube order preserved)."""
+        return Cover(
+            self._num_inputs, (Cube(row) for row in self._values)
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol and plane views
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables."""
+        return self._num_inputs
+
+    @property
+    def num_cubes(self) -> int:
+        """Number of product terms."""
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(k, n)`` positional-cube entries (read-only view)."""
+        return self._values
+
+    @property
+    def care(self) -> np.ndarray:
+        """The literal-mask plane: True where a variable appears."""
+        return self._values != DONT_CARE
+
+    @property
+    def polarity(self) -> np.ndarray:
+        """The polarity plane: True for positive literals."""
+        return self._values == 1
+
+    def __len__(self) -> int:
+        return self.num_cubes
+
+    def __repr__(self) -> str:
+        return f"PackedCover(n={self._num_inputs}, cubes={self.num_cubes})"
+
+    def cube_strings(self) -> list[str]:
+        """PLA-style text rows (matches ``Cover.to_strings``)."""
+        return _row_strings(self._values)
+
+    def literal_counts(self) -> np.ndarray:
+        """Per-cube literal counts."""
+        return (self._values != DONT_CARE).sum(axis=1, dtype=np.int64)
+
+    def num_minterms_per_cube(self) -> np.ndarray:
+        """Per-cube covered-minterm counts (``2 ** free_variables``)."""
+        free = (self._values == DONT_CARE).sum(axis=1, dtype=np.int64)
+        return np.int64(1) << free
+
+    # ------------------------------------------------------------------
+    # Truth-table kernels
+    # ------------------------------------------------------------------
+    def cube_tables(self) -> np.ndarray:
+        """Per-cube packed truth tables (``(k, W)``), one broadcasted pass."""
+        if self._tables is None:
+            self._tables = _values_tables(self._values, self._num_inputs)
+            self._tables.setflags(write=False)
+        return self._tables
+
+    def table(self) -> np.ndarray:
+        """The whole-cover packed truth table (OR of all cube tables)."""
+        tables = self.cube_tables()
+        if tables.shape[0] == 0:
+            return np.zeros(table_words(self._num_inputs), dtype=np.uint64)
+        return np.bitwise_or.reduce(tables, axis=0)
+
+    def truth_table(self) -> PackedTruthTable:
+        """The cover's function as a :class:`PackedTruthTable`."""
+        return PackedTruthTable(self._num_inputs, self.table())
+
+    def minterm_count(self) -> int:
+        """Exact number of covered minterms."""
+        return popcount(self.table())
+
+    def is_tautology(self) -> bool:
+        """True iff the cover evaluates to 1 on every assignment."""
+        return bool((self.table() == tail_mask(self._num_inputs)).all())
+
+    def covers_values(self, row: np.ndarray) -> bool:
+        """True if the cover contains every minterm of one cube row."""
+        cube_table = _row_table(np.asarray(row, dtype=np.uint8), self._num_inputs)
+        return not (cube_table & ~self.table()).any()
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """Packed equivalent of ``Cover.covers_cube``."""
+        return self.covers_values(np.array(cube.values, dtype=np.uint8))
+
+    def covers(self, other: "PackedCover") -> bool:
+        """True if this cover contains every minterm of ``other``."""
+        if other.num_inputs != self._num_inputs:
+            raise BooleanFunctionError("cover width mismatch")
+        own = self.table()
+        return not (other.table() & ~own).any()
+
+    # ------------------------------------------------------------------
+    # Structural kernels
+    # ------------------------------------------------------------------
+    def contains_matrix(self, other: "PackedCover | None" = None) -> np.ndarray:
+        """Pairwise single-cube containment ``out[i, j] = self[i] ⊇ other[j]``."""
+        right = self if other is None else other
+        if right.num_inputs != self._num_inputs:
+            raise BooleanFunctionError("cover width mismatch")
+        return _contains_matrix(self._values, right._values)
+
+    def cofactor(self, variable: int, value: int) -> "PackedCover":
+        """Shannon cofactor of the whole cover (packed)."""
+        if value not in (0, 1):
+            raise BooleanFunctionError("cofactor value must be 0 or 1")
+        if not 0 <= variable < self._num_inputs:
+            raise BooleanFunctionError(f"variable {variable} out of range")
+        column = self._values[:, variable]
+        keep = (column == DONT_CARE) | (column == value)
+        reduced = self._values[keep].copy()
+        reduced[:, variable] = DONT_CARE
+        return PackedCover(self._num_inputs, reduced)
+
+    def evaluate(self, assignments: np.ndarray) -> np.ndarray:
+        """Evaluate the cover on a batch of assignments (``(A,)`` bool)."""
+        batch = np.asarray(assignments, dtype=np.uint8)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.shape[1] != self._num_inputs:
+            raise BooleanFunctionError(
+                f"assignments have {batch.shape[1]} inputs, cover expects "
+                f"{self._num_inputs}"
+            )
+        if self.num_cubes == 0:
+            return np.zeros(batch.shape[0], dtype=bool)
+        matches = (
+            (self._values[None, :, :] == DONT_CARE)
+            | (batch[:, None, :] == self._values[None, :, :])
+        ).all(axis=2)
+        return matches.any(axis=1)
+
+    def without_contained(self) -> "PackedCover":
+        """Packed replica of ``Cover.without_contained_cubes`` (same order)."""
+        values = _without_contained_values(self._values)
+        return PackedCover(self._num_inputs, values)
+
+
+# ----------------------------------------------------------------------
+# Multi-output helper: one broadcasted evaluation of a BooleanFunction.
+# ----------------------------------------------------------------------
+def evaluate_function_batch(function, assignments) -> np.ndarray:
+    """Evaluate a :class:`BooleanFunction` on a batch of assignments.
+
+    Returns a ``(A, num_outputs)`` uint8 matrix matching
+    ``function.evaluate`` row for row.
+    """
+    batch = np.asarray(assignments, dtype=np.uint8)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    if batch.shape[1] != function.num_inputs:
+        raise BooleanFunctionError(
+            f"assignments have {batch.shape[1]} inputs, function expects "
+            f"{function.num_inputs}"
+        )
+    num_outputs = function.num_outputs
+    products = function.products
+    if not products:
+        return np.zeros((batch.shape[0], num_outputs), dtype=np.uint8)
+    values = np.array([p.cube.values for p in products], dtype=np.uint8)
+    incidence = np.zeros((len(products), num_outputs), dtype=np.uint8)
+    for index, product in enumerate(products):
+        for output in product.outputs:
+            incidence[index, output] = 1
+    matches = (
+        (values[None, :, :] == DONT_CARE)
+        | (batch[:, None, :] == values[None, :, :])
+    ).all(axis=2)
+    return (matches.astype(np.uint8) @ incidence > 0).astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+# Packed minimisation: bit-exact replicas of the object-path passes.
+# ----------------------------------------------------------------------
+def _without_contained_values(values: np.ndarray) -> np.ndarray:
+    """Replica of ``Cover.without_contained_cubes`` on a values matrix."""
+    k = values.shape[0]
+    if k == 0:
+        return values
+    free = (values == DONT_CARE).sum(axis=1, dtype=np.int64)
+    size = np.int64(1) << free
+    order = sorted(range(k), key=lambda i: -int(size[i]))
+    contains = _contains_matrix(values, values)
+    kept: list[int] = []
+    for index in order:
+        if any(contains[other, index] for other in kept):
+            continue
+        kept.append(index)
+    return values[kept]
+
+
+def _dedupe_values(values: np.ndarray) -> np.ndarray:
+    """Order-preserving row deduplication (the ``Cover()`` constructor)."""
+    seen: set[bytes] = set()
+    kept: list[int] = []
+    for index in range(values.shape[0]):
+        key = values[index].tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(index)
+    if len(kept) == values.shape[0]:
+        return values
+    return values[kept]
+
+
+def _merge_distance_one_values(values: np.ndarray) -> np.ndarray:
+    """Replica of :func:`repro.boolean.minimize.merge_distance_one`.
+
+    Walks the exact same ``(i, j)`` schedule as the object pass —
+    including re-testing the remaining ``j`` whenever a merge enlarges
+    the working cube — but answers each merge/containment probe with one
+    vectorized row comparison against all remaining candidates.
+    """
+    rows = [values[i].copy() for i in range(values.shape[0])]
+    changed = True
+    while changed:
+        changed = False
+        result: list[np.ndarray] = []
+        used = [False] * len(rows)
+        for i in range(len(rows)):
+            if used[i]:
+                continue
+            merged = rows[i]
+            scan_from = i + 1
+            while True:
+                candidates = [
+                    j for j in range(scan_from, len(rows)) if not used[j]
+                ]
+                if not candidates:
+                    break
+                block = np.stack([rows[j] for j in candidates])
+                diff = block != merged[None, :]
+                dc_clash = (
+                    diff & ((block == DONT_CARE) | (merged[None, :] == DONT_CARE))
+                ).any(axis=1)
+                distance = diff.sum(axis=1)
+                mergeable = ~dc_clash & (distance == 1)
+                equal = distance == 0
+                merge_at = -1
+                for position, j in enumerate(candidates):
+                    if mergeable[position]:
+                        merge_at = position
+                        break
+                    if equal[position]:
+                        used[j] = True
+                        changed = True
+                if merge_at < 0:
+                    break
+                j = candidates[merge_at]
+                merged = merged.copy()
+                merged[np.flatnonzero(diff[merge_at])[0]] = DONT_CARE
+                used[j] = True
+                changed = True
+                scan_from = j + 1
+            result.append(merged)
+            used[i] = True
+        rows = result
+    if rows:
+        merged_values = np.stack(rows)
+    else:
+        merged_values = values[:0]
+    return _without_contained_values(_dedupe_values(merged_values))
+
+
+def _sorted_by_size_order(values: np.ndarray) -> list[int]:
+    """Row order of ``Cover.sorted_by_size`` (largest first, then text)."""
+    free = (values == DONT_CARE).sum(axis=1, dtype=np.int64)
+    size = np.int64(1) << free
+    strings = _row_strings(values)
+    return sorted(
+        range(values.shape[0]), key=lambda i: (-int(size[i]), strings[i])
+    )
+
+
+def _expand_values(values: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Replica of :func:`repro.boolean.minimize.expand_cover`.
+
+    The function-preserving containment probe (``cover.covers_cube``)
+    becomes a two-op bitmap test against the cover's packed truth table.
+    The literal ordering replicates the object path exactly — including
+    its reliance on ``frozenset`` iteration order for tie-breaking.
+    """
+    off_table = ~np.bitwise_or.reduce(
+        _values_tables(values, num_inputs), axis=0
+    ) & tail_mask(num_inputs)
+    planes = bit_planes(num_inputs)
+    mask = tail_mask(num_inputs)
+    weight = (values != DONT_CARE).sum(axis=0, dtype=np.int64)
+    expanded_rows: list[np.ndarray] = []
+    for index in _sorted_by_size_order(values):
+        enlarged = values[index].copy()
+        support = frozenset(
+            int(v) for v in np.flatnonzero(enlarged != DONT_CARE)
+        )
+        trial_order = sorted(support, key=lambda v: -int(weight[v]))
+        # Literal term planes in trial order; dropping literal t leaves
+        # the AND of the others, served by prefix/suffix AND products so
+        # every probe is O(W) instead of re-reducing the whole cube.
+        terms = np.where(
+            (enlarged[trial_order] == 1)[:, None],
+            planes[trial_order],
+            ~planes[trial_order] & mask,
+        )
+        position = 0
+        while position < terms.shape[0]:
+            length = terms.shape[0]
+            prefix = np.empty((length + 1, mask.shape[0]), dtype=np.uint64)
+            suffix = np.empty((length + 1, mask.shape[0]), dtype=np.uint64)
+            prefix[0] = mask
+            suffix[length] = mask
+            for t in range(length):
+                prefix[t + 1] = prefix[t] & terms[t]
+                suffix[length - 1 - t] = suffix[length - t] & terms[length - 1 - t]
+            dropped_any = False
+            while position < length:
+                candidate_table = prefix[position] & suffix[position + 1]
+                if not (candidate_table & off_table).any():
+                    enlarged[trial_order[position]] = DONT_CARE
+                    trial_order.pop(position)
+                    terms = np.delete(terms, position, axis=0)
+                    dropped_any = True
+                    break  # prefix/suffix are stale; rebuild once
+                position += 1
+            if not dropped_any:
+                break
+        expanded_rows.append(enlarged)
+    expanded = np.stack(expanded_rows) if expanded_rows else values[:0]
+    return _without_contained_values(_dedupe_values(expanded))
+
+
+def _irredundant_values(values: np.ndarray, num_inputs: int) -> np.ndarray:
+    """Replica of :func:`repro.boolean.minimize.irredundant_cover`."""
+    order = _sorted_by_size_order(values)
+    ordered = values[order]
+    tables = _values_tables(ordered, num_inputs)
+    free = (ordered == DONT_CARE).sum(axis=1, dtype=np.int64)
+    size = np.int64(1) << free
+    kept = list(range(ordered.shape[0]))
+    for index in sorted(range(ordered.shape[0]), key=lambda i: int(size[i])):
+        if len(kept) == 1:
+            break
+        if index not in kept:
+            continue
+        remaining = [i for i in kept if i != index]
+        union = np.bitwise_or.reduce(tables[remaining], axis=0)
+        if not (tables[index] & ~union).any():
+            kept = remaining
+    return ordered[kept]
+
+
+def merge_distance_one_packed(cover: Cover) -> Cover:
+    """Packed drop-in for :func:`repro.boolean.minimize.merge_distance_one`."""
+    packed = PackedCover.from_cover(cover)
+    return PackedCover(
+        packed.num_inputs, _merge_distance_one_values(packed.values)
+    ).to_cover()
+
+
+def minimize_cover_packed(cover: Cover, *, max_passes: int = 4) -> Cover:
+    """Packed engine of :func:`repro.boolean.minimize.minimize_cover`.
+
+    Cube-for-cube identical to the object path: every pass replicates the
+    object schedule and answers its semantic probes with bitset kernels.
+    """
+    if cover.is_empty() or cover.has_full_dont_care():
+        return cover.without_contained_cubes()
+    num_inputs = cover.num_inputs
+    current = _without_contained_values(
+        _values_from_cubes(num_inputs, cover.cubes)
+    )
+    for _ in range(max_passes):
+        merged = _merge_distance_one_values(current)
+        expanded = _expand_values(merged, num_inputs)
+        irredundant = _irredundant_values(expanded, num_inputs)
+        if {row.tobytes() for row in irredundant} == {
+            row.tobytes() for row in current
+        }:
+            current = irredundant
+            break
+        current = irredundant
+    final = current[_sorted_by_size_order(current)]
+    return Cover(
+        num_inputs, (Cube(row) for row in final), deduplicate=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Packed prime-implicant generation (Quine-McCluskey front-end).
+# ----------------------------------------------------------------------
+#: Cap on pairwise-comparison cells per chunk in the prime generator.
+_MAX_PAIR_CELLS = 4_000_000
+
+
+def prime_implicants_packed(
+    num_inputs: int, minterms: Iterable[int]
+) -> list[Cube]:
+    """Packed drop-in for :func:`repro.boolean.minimize.prime_implicants`.
+
+    Layer-merges the whole cube set with broadcasted distance-1 tests
+    instead of Python pair loops; the resulting prime set (and its
+    deterministic ordering) is identical to the object path.
+    """
+    layer = PackedCover.from_minterms(num_inputs, sorted(set(minterms))).values
+    layer = _dedupe_values(layer)
+    primes: dict[bytes, np.ndarray] = {}
+    while layer.shape[0]:
+        k, n = layer.shape
+        used = np.zeros(k, dtype=bool)
+        merged: dict[bytes, np.ndarray] = {}
+        chunk = max(1, _MAX_PAIR_CELLS // max(1, k * n))
+        for lo in range(0, k, chunk):
+            block = layer[lo : lo + chunk]
+            diff = block[:, None, :] != layer[None, :, :]
+            dc_clash = (
+                diff
+                & ((block[:, None, :] == DONT_CARE) | (layer[None, :, :] == DONT_CARE))
+            ).any(axis=2)
+            viable = ~dc_clash & (diff.sum(axis=2) == 1)
+            used[lo : lo + block.shape[0]] |= viable.any(axis=1)
+            used |= viable.any(axis=0)
+            left, right = np.nonzero(viable)
+            if left.size:
+                keep = (left + lo) < right  # each unordered pair once
+                left, right = left[keep], right[keep]
+                rows = block[left].copy()
+                rows[diff[left, right]] = DONT_CARE
+                for row in rows:
+                    merged.setdefault(row.tobytes(), row)
+        for index in np.flatnonzero(~used):
+            row = layer[index]
+            primes.setdefault(row.tobytes(), row)
+        layer = (
+            np.stack(list(merged.values()))
+            if merged
+            else np.zeros((0, n), dtype=np.uint8)
+        )
+    cubes = [Cube(row) for row in primes.values()]
+    return sorted(cubes, key=lambda c: (c.literal_count(), c.to_string()))
+
+
+def prime_coverage_packed(
+    num_inputs: int, primes: list[Cube], minterms: Iterable[int]
+) -> dict[Cube, frozenset[int]]:
+    """On-set coverage sets of every prime, via packed bitmap intersection.
+
+    Matches the object path's ``{prime: frozenset(on-set minterms)}``
+    exactly.
+    """
+    onset = PackedTruthTable.from_minterms(num_inputs, minterms).words
+    values = _values_from_cubes(num_inputs, primes)
+    tables = _values_tables(values, num_inputs)
+    return {
+        prime: frozenset(int(m) for m in _bit_indices(tables[index] & onset))
+        for index, prime in enumerate(primes)
+    }

@@ -73,8 +73,18 @@ def random_cube(num_inputs: int, num_literals: int, rng: random.Random) -> Cube:
     return Cube.from_literals(literals, num_inputs)
 
 
-def random_cover(spec: RandomFunctionSpec, rng: random.Random) -> Cover:
-    """A random sum-of-products cover following ``spec``."""
+def random_cover(
+    spec: RandomFunctionSpec, rng: random.Random, *, engine: str = "auto"
+) -> Cover:
+    """A random sum-of-products cover following ``spec``.
+
+    ``engine`` selects the clean-up implementation — the packed bitset
+    kernels or the object reference path.  The RNG draw sequence is
+    shared, so both engines return the identical cover for the same
+    ``rng`` state.
+    """
+    from repro.boolean.minimize import resolve_boolean_engine
+
     max_products = spec.resolved_max_products()
     if spec.min_products > max_products:
         raise BooleanFunctionError("min_products exceeds max_products")
@@ -89,15 +99,23 @@ def random_cover(spec: RandomFunctionSpec, rng: random.Random) -> Cover:
     # Light clean-up: drop contained cubes and merge trivially mergeable
     # pairs, mirroring the fact that the paper feeds *functions*, not raw
     # redundant cube lists, into the cost comparison.
+    if resolve_boolean_engine(engine, spec.num_inputs) == "packed":
+        from repro.boolean.packed import merge_distance_one_packed
+
+        return merge_distance_one_packed(cover.without_contained_cubes())
     return merge_distance_one(cover.without_contained_cubes())
 
 
 def random_single_output_function(
-    spec: RandomFunctionSpec, *, seed: int
+    spec: RandomFunctionSpec, *, seed: int, engine: str = "auto"
 ) -> BooleanFunction:
-    """A random single-output function, deterministic in ``seed``."""
+    """A random single-output function, deterministic in ``seed``.
+
+    ``engine`` is forwarded to :func:`random_cover`; both engines draw
+    the same RNG stream and return the identical function.
+    """
     rng = random.Random(seed)
-    cover = random_cover(spec, rng)
+    cover = random_cover(spec, rng, engine=engine)
     if cover.is_empty():
         cover = Cover(spec.num_inputs, [random_cube(spec.num_inputs, 1, rng)])
     return BooleanFunction.single_output(

@@ -9,8 +9,11 @@ about bit ordering.  Convention: assignment index ``i`` encodes input
 
 from __future__ import annotations
 
+import functools
 import random
 from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
 
 from repro.boolean.function import BooleanFunction
 from repro.exceptions import BooleanFunctionError
@@ -51,14 +54,63 @@ def sample_assignments(
         yield [rng.randint(0, 1) for _ in range(num_inputs)]
 
 
+def _verification_cache_key(
+    num_inputs: int, exhaustive_limit: int, samples: int, seed: int
+) -> tuple[int, int, int, int]:
+    """Normalise the cache key: the exhaustive branch depends only on
+    ``num_inputs``, so ``exhaustive_limit``/``samples``/``seed`` are
+    collapsed there and identical tables share one cache entry."""
+    if num_inputs <= exhaustive_limit:
+        return num_inputs, num_inputs, 0, 0
+    return num_inputs, exhaustive_limit, samples, seed
+
+
+@functools.lru_cache(maxsize=64)
+def _verification_assignment_cache(
+    num_inputs: int, exhaustive_limit: int, samples: int, seed: int
+) -> tuple[tuple[int, ...], ...]:
+    """The frozen assignment stream for one (normalised) key.
+
+    Functional validation re-walks the identical stream for every
+    validated sample; caching the materialised tuples means the RNG and
+    bit-twiddling run once per distinct stream.
+    """
+    if num_inputs <= exhaustive_limit:
+        return tuple(tuple(a) for a in all_assignments(num_inputs))
+    return tuple(
+        tuple(a) for a in sample_assignments(num_inputs, samples, seed=seed)
+    )
+
+
 def verification_assignments(
     num_inputs: int, *, exhaustive_limit: int = 12, samples: int = 512, seed: int = 0
 ) -> Iterator[list[int]]:
     """Exhaustive assignments for small functions, sampled otherwise."""
-    if num_inputs <= exhaustive_limit:
-        yield from all_assignments(num_inputs)
-    else:
-        yield from sample_assignments(num_inputs, samples, seed=seed)
+    key = _verification_cache_key(num_inputs, exhaustive_limit, samples, seed)
+    for assignment in _verification_assignment_cache(*key):
+        yield list(assignment)
+
+
+@functools.lru_cache(maxsize=64)
+def _verification_assignment_matrix_cached(key: tuple) -> np.ndarray:
+    rows = _verification_assignment_cache(*key)
+    matrix = np.array(rows, dtype=np.uint8).reshape(len(rows), key[0])
+    matrix.setflags(write=False)
+    return matrix
+
+
+def verification_assignment_matrix(
+    num_inputs: int, *, exhaustive_limit: int = 12, samples: int = 512, seed: int = 0
+) -> np.ndarray:
+    """The verification stream as a cached read-only ``(A, n)`` matrix.
+
+    The batched simulator and validator consume whole-stream tensors;
+    this shares one immutable array per distinct stream instead of
+    rebuilding (and re-sampling) per validated sample.
+    """
+    return _verification_assignment_matrix_cached(
+        _verification_cache_key(num_inputs, exhaustive_limit, samples, seed)
+    )
 
 
 def functions_agree(

@@ -191,12 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("vectorized", "reference"),
+        choices=("vectorized", "packed", "reference"),
         default="vectorized",
         help=(
-            "Monte-Carlo execution engine: the batched NumPy kernel "
-            "(default) or the per-sample object path; both produce "
-            "identical counting statistics"
+            "execution engine: the batched NumPy kernels (default; "
+            "'packed' is an alias naming the bit-packed Boolean kernel "
+            "the area protocol uses) or the per-sample object path; all "
+            "choices produce identical counting statistics"
         ),
     )
     run_parser.add_argument(

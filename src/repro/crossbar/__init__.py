@@ -32,9 +32,11 @@ from repro.crossbar.metrics import (
 )
 from repro.crossbar.multi_level import MultiLevelDesign, OutputTap
 from repro.crossbar.simulator import (
+    SIMULATOR_ENGINES,
     SimulationResult,
     evaluate_multi_level,
     evaluate_two_level,
+    evaluate_two_level_batch,
     verify_layout,
 )
 from repro.crossbar.states import (
@@ -49,6 +51,7 @@ from repro.crossbar.two_level import (
     TwoLevelAreaReport,
     TwoLevelDesign,
     two_level_area_cost,
+    two_level_area_cost_batch,
 )
 
 __all__ = [
@@ -67,6 +70,7 @@ __all__ = [
     "TwoLevelDesign",
     "TwoLevelAreaReport",
     "two_level_area_cost",
+    "two_level_area_cost_batch",
     "MultiLevelDesign",
     "OutputTap",
     "Phase",
@@ -78,7 +82,9 @@ __all__ = [
     "CrossbarController",
     "PhaseTrace",
     "SimulationResult",
+    "SIMULATOR_ENGINES",
     "evaluate_two_level",
+    "evaluate_two_level_batch",
     "evaluate_multi_level",
     "verify_layout",
     "DualSelection",

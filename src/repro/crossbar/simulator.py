@@ -32,10 +32,15 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.device import DeviceMode
 from repro.crossbar.layout import ColumnKind, CrossbarLayout, RowKind
 from repro.exceptions import CrossbarError
+
+#: Engines the batch-capable entry points accept.
+SIMULATOR_ENGINES = ("auto", "batch", "object")
 
 
 @dataclass
@@ -308,6 +313,131 @@ def _evaluate_output_columns(
     return outputs, complements
 
 
+# ----------------------------------------------------------------------
+# Batched two-level evaluation: the whole assignment batch in one
+# vectorized pass over an (assignments × rows × columns) view.
+# ----------------------------------------------------------------------
+def evaluate_two_level_batch(
+    layout: CrossbarLayout,
+    assignments,
+    *,
+    array: CrossbarArray | None = None,
+) -> np.ndarray:
+    """Evaluate a two-level layout on a whole batch of assignments.
+
+    ``assignments`` is an ``(A, num_inputs)`` array-like of bits; the
+    return value is the ``(A, num_outputs)`` uint8 matrix of ``f``
+    values, row-for-row identical to calling :func:`evaluate_two_level`
+    on each assignment (the differential tests pin the two together).
+    Defect awareness matches the scalar path exactly: stuck-open devices
+    read 1, stuck-closed devices read 0 and poison their whole row and
+    column, and a poisoned output column is forced to 0.
+    """
+    _check_array(layout, array)
+    batch = np.asarray(assignments, dtype=np.uint8)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    num_inputs = len(layout.columns_of_kind(ColumnKind.INPUT)) // 2
+    if batch.shape[1] != num_inputs:
+        raise CrossbarError(
+            f"assignments have {batch.shape[1]} bits, layout expects "
+            f"{num_inputs}"
+        )
+    num_rows, num_columns = layout.rows, layout.columns
+    num_samples = batch.shape[0]
+
+    active = np.zeros((num_rows, num_columns), dtype=bool)
+    if layout.active_crosspoints:
+        rows, columns = zip(*layout.active_crosspoints)
+        active[list(rows), list(columns)] = True
+
+    stuck_open = np.zeros((num_rows, num_columns), dtype=bool)
+    stuck_closed = np.zeros((num_rows, num_columns), dtype=bool)
+    poisoned_column = np.zeros(num_columns, dtype=bool)
+    poisoned_row = np.zeros(num_rows, dtype=bool)
+    if array is not None:
+        for row, column, mode in array.defect_positions():
+            if mode == DeviceMode.STUCK_CLOSED:
+                if row < num_rows:
+                    poisoned_row[row] = True
+                if column < num_columns:
+                    poisoned_column[column] = True
+            if row < num_rows and column < num_columns:
+                if mode == DeviceMode.STUCK_OPEN:
+                    stuck_open[row, column] = True
+                elif mode == DeviceMode.STUCK_CLOSED:
+                    stuck_closed[row, column] = True
+
+    # Nominal input-column values for the whole batch.
+    input_columns = layout.columns_of_kind(ColumnKind.INPUT)
+    column_values = np.zeros((num_samples, num_columns), dtype=np.uint8)
+    for column in input_columns:
+        role = layout.column_roles[column]
+        value = batch[:, role.index]
+        column_values[:, column] = value if role.polarity else 1 - value
+
+    # EVM: every product/gate row NANDs its active input-latch devices.
+    is_input_column = np.zeros(num_columns, dtype=bool)
+    is_input_column[input_columns] = True
+    sensed = active & is_input_column[None, :]
+    static_zero = sensed & (poisoned_column[None, :] | stuck_closed)
+    nominal = sensed & ~static_zero & ~stuck_open
+    has_device = sensed.any(axis=1)
+    row_forced_one = static_zero.any(axis=1)
+    nominal_counts = nominal.sum(axis=1, dtype=np.int64)
+    ones_read = column_values.astype(np.int64) @ nominal.T.astype(np.int64)
+    all_ones = ones_read == nominal_counts[None, :]
+    row_values = np.where(
+        ~has_device[None, :] | row_forced_one[None, :] | poisoned_row[None, :],
+        np.uint8(1),
+        (1 - all_ones).astype(np.uint8),
+    )
+
+    is_pg_row = np.array(
+        [role.kind in (RowKind.PRODUCT, RowKind.GATE) for role in layout.row_roles]
+    )
+
+    # EVR + INR: output columns NAND their connected product rows.
+    output_indices = sorted(
+        {
+            layout.column_roles[column].index
+            for column in layout.columns_of_kind(ColumnKind.OUTPUT)
+        }
+    )
+    outputs = np.zeros((num_samples, len(output_indices)), dtype=np.uint8)
+
+    def column_nand(column: int) -> np.ndarray | None:
+        """Batched NAND of the rows driving one output column."""
+        drivers = [
+            row for row in layout.active_in_column(column) if is_pg_row[row]
+        ]
+        if not drivers:
+            return None
+        drivers = np.array(drivers)
+        driver_zero = poisoned_column[column] | stuck_closed[drivers, column]
+        driver_nominal = ~driver_zero & ~stuck_open[drivers, column]
+        all_one = (row_values[:, drivers[driver_nominal]] == 1).all(axis=1)
+        if driver_zero.any():
+            all_one[:] = False
+        value = (1 - all_one).astype(np.uint8)
+        if poisoned_column[column]:
+            value[:] = 0
+        return value
+
+    for position, output in enumerate(output_indices):
+        positive_column = layout.column_index(ColumnKind.OUTPUT, output, True)
+        negative_column = layout.column_index(ColumnKind.OUTPUT, output, False)
+        positive = column_nand(positive_column)
+        if positive is not None:
+            outputs[:, position] = positive
+            continue
+        complement = column_nand(negative_column)
+        if complement is not None:
+            outputs[:, position] = 1 - complement
+        # else: no drivers at all — the column reads 0, already the default.
+    return outputs
+
+
 def verify_layout(
     layout: CrossbarLayout,
     reference,
@@ -316,13 +446,42 @@ def verify_layout(
     array: CrossbarArray | None = None,
     exhaustive_limit: int = 10,
     samples: int = 256,
+    engine: str = "auto",
 ) -> bool:
     """Check a layout against a reference Boolean function.
 
     ``reference`` is a :class:`~repro.boolean.function.BooleanFunction`;
     evaluation is exhaustive for small input counts and sampled otherwise.
+    ``engine`` selects the batched tensor evaluation (two-level layouts
+    only; the default) or the scalar object walk — both answer
+    identically.
     """
-    from repro.boolean.truth_table import verification_assignments
+    from repro.boolean.truth_table import (
+        verification_assignment_matrix,
+        verification_assignments,
+    )
+
+    if engine not in SIMULATOR_ENGINES:
+        raise CrossbarError(
+            f"unknown simulator engine {engine!r}; expected one of "
+            f"{list(SIMULATOR_ENGINES)}"
+        )
+    if engine == "batch" and multi_level:
+        raise CrossbarError(
+            "engine='batch' does not support multi-level layouts; use "
+            "engine='auto' (falls back to the object walk) or 'object'"
+        )
+    if engine != "object" and not multi_level:
+        batch = verification_assignment_matrix(
+            reference.num_inputs,
+            exhaustive_limit=exhaustive_limit,
+            samples=samples,
+        )
+        from repro.boolean.packed import evaluate_function_batch
+
+        simulated = evaluate_two_level_batch(layout, batch, array=array)
+        expected = evaluate_function_batch(reference, batch)
+        return bool((simulated == expected).all())
 
     evaluate = evaluate_multi_level if multi_level else evaluate_two_level
     for assignment in verification_assignments(

@@ -73,6 +73,24 @@ def two_level_area_cost(
     return rows * columns
 
 
+def two_level_area_cost_batch(
+    num_inputs: int, num_outputs: int, num_products, *, extra_rows: int = 0
+):
+    """Vectorized :func:`two_level_area_cost` over a product-count array.
+
+    ``num_products`` is any array-like of per-sample product counts; the
+    return value is the matching ``int64`` area array.  One broadcasted
+    multiply replaces the per-sample calls of batched area studies.
+    """
+    import numpy as np
+
+    products = np.asarray(num_products, dtype=np.int64)
+    if num_inputs < 0 or num_outputs < 0 or (products.size and products.min() < 0):
+        raise CrossbarError("I, O and P must be non-negative")
+    rows = products + num_outputs + extra_rows
+    return rows * (2 * num_inputs + 2 * num_outputs)
+
+
 class TwoLevelDesign:
     """A Boolean function mapped onto the two-level crossbar architecture."""
 

@@ -144,9 +144,17 @@ class Figure6Result:
 
 
 def evaluate_sample(
-    function: BooleanFunction, *, minimize_before_synthesis: bool = True
+    function: BooleanFunction,
+    *,
+    minimize_before_synthesis: bool = True,
+    engine: str = "auto",
 ) -> Figure6Sample:
-    """Compute both area costs for one random single-output function."""
+    """Compute both area costs for one random single-output function.
+
+    ``engine`` selects the Boolean minimisation kernel — ``"auto"`` /
+    ``"packed"`` for the bit-plane fast path, ``"object"`` for the
+    reference walk; both produce identical samples.
+    """
     if function.num_outputs != 1:
         raise ExperimentError("Fig. 6 uses single-output functions")
     num_products = function.num_products
@@ -154,7 +162,7 @@ def evaluate_sample(
 
     candidate = function
     if minimize_before_synthesis:
-        cover = minimize_cover(function.cover_for_output(0))
+        cover = minimize_cover(function.cover_for_output(0), engine=engine)
         candidate = BooleanFunction.single_output(
             cover, input_names=function.input_names, name=function.name
         )
@@ -197,7 +205,10 @@ def paper_suite(config: Figure6Config | None = None) -> ScenarioSuite:
 
 
 def run_figure6(
-    config: Figure6Config | None = None, *, workers: int | None = None
+    config: Figure6Config | None = None,
+    *,
+    workers: int | None = None,
+    engine: str = "vectorized",
 ) -> Figure6Result:
     """Regenerate Fig. 6 for the configured input sizes.
 
@@ -205,11 +216,14 @@ def run_figure6(
     ``workers`` selects the parallel batch engine (``None`` = auto);
     each panel's sample stream is chunked over *global* sample indices
     with collision-free derived seeds and merged in chunk order, so the
-    panels are identical for every worker count.
+    panels are identical for every worker count.  ``engine`` selects the
+    Boolean execution kernel — ``"vectorized"``/``"packed"`` for the
+    bit-plane fast path, ``"reference"`` for the object walk — with
+    sample-for-sample identical panels.
     """
     config = config or Figure6Config()
     result = Figure6Result(config=config)
-    suite_result = run_suite(paper_suite(config), workers=workers)
+    suite_result = run_suite(paper_suite(config), workers=workers, engine=engine)
     for num_inputs, scenario_result in zip(config.input_sizes, suite_result):
         panel = Figure6Panel(num_inputs=num_inputs)
         panel.samples = [

@@ -6,18 +6,64 @@ block); one column per input-latch line (both polarities) followed by the
 ``f`` and ``f̄`` column blocks.  An entry is 1 where the design needs a
 *programmable* (active) device.
 
-The FM is derived from the :class:`~repro.crossbar.two_level.
-TwoLevelDesign` layout so the matching algorithms and the physical
-layout can never drift apart.
+The matrix is scattered directly from the function's packed cube planes
+— the layout-derived path (``TwoLevelDesign.layout.to_matrix()``) is
+pinned against it in the test-suite and is only materialised when a
+caller actually asks for :attr:`FunctionMatrix.layout`, so the
+Monte-Carlo hot paths never pay for building a
+:class:`~repro.crossbar.layout.CrossbarLayout` object per chunk.
+:meth:`FunctionMatrix.from_cover` goes one step further for the
+single-output Fig. 6 workload and builds the FM from a bare cover
+without constructing a :class:`BooleanFunction` up front.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
-from repro.crossbar.two_level import TwoLevelDesign
 from repro.exceptions import MappingError
+
+
+def _scatter_requirement_matrix(
+    num_inputs: int,
+    num_outputs: int,
+    cube_values: np.ndarray,
+    output_sets,
+) -> np.ndarray:
+    """Scatter the (P+O) × (2I+2O) requirement matrix.
+
+    ``cube_values`` is the (P, I) positional-cube plane of the product
+    block; ``output_sets`` yields each product's driven-output indices.
+    """
+    num_products = cube_values.shape[0]
+    matrix = np.zeros(
+        (num_products + num_outputs, 2 * num_inputs + 2 * num_outputs),
+        dtype=np.uint8,
+    )
+    matrix[:num_products, :num_inputs] = cube_values == 1
+    matrix[:num_products, num_inputs : 2 * num_inputs] = cube_values == 0
+    for row, outputs in enumerate(output_sets):
+        for output in outputs:
+            matrix[row, 2 * num_inputs + output] = 1
+    for output in range(num_outputs):
+        output_row = num_products + output
+        matrix[output_row, 2 * num_inputs + output] = 1
+        matrix[output_row, 2 * num_inputs + num_outputs + output] = 1
+    return matrix
+
+
+def _matrix_from_products(
+    num_inputs: int, num_outputs: int, products
+) -> np.ndarray:
+    """Scatter the requirement matrix from a function's products."""
+    values = np.array(
+        [product.cube.values for product in products], dtype=np.uint8
+    ).reshape(len(products), num_inputs)
+    return _scatter_requirement_matrix(
+        num_inputs, num_outputs, values, (p.outputs for p in products)
+    )
 
 
 class FunctionMatrix:
@@ -26,24 +72,80 @@ class FunctionMatrix:
     def __init__(self, function: BooleanFunction):
         if function.num_products == 0:
             raise MappingError("cannot build a function matrix with no products")
-        self._function = function
-        design = TwoLevelDesign(function)
-        self._layout = design.layout
-        self._matrix = np.array(self._layout.to_matrix(), dtype=np.uint8)
+        self._function: BooleanFunction | None = function
+        self._cover: Cover | None = None
+        self._cover_kwargs: dict | None = None
+        self._layout = None
+        self._matrix = _matrix_from_products(
+            function.num_inputs, function.num_outputs, function.products
+        )
         self._num_minterm_rows = function.num_products
         self._num_output_rows = function.num_outputs
+
+    # ------------------------------------------------------------------
+    # Fast constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cover(
+        cls,
+        cover: Cover,
+        *,
+        input_names=None,
+        output_name: str = "f",
+        name: str = "",
+    ) -> "FunctionMatrix":
+        """Build the single-output FM directly from a cover.
+
+        A convenience constructor for callers that hold a bare cover —
+        single-output studies, ad-hoc mapping probes — and have no use
+        for the intermediate :class:`BooleanFunction`: the matrix is
+        scattered straight from the cube values and the backing function
+        (and its layout) are only constructed if a caller asks for them.
+        Identical to
+        ``FunctionMatrix(BooleanFunction.single_output(cover, ...))``,
+        which the test-suite pins.
+        """
+        if len(cover) == 0:
+            raise MappingError("cannot build a function matrix with no products")
+        num_inputs = cover.num_inputs
+        self = cls.__new__(cls)
+        self._function = None
+        self._cover = cover
+        self._cover_kwargs = {
+            "input_names": input_names,
+            "output_name": output_name,
+            "name": name,
+        }
+        self._layout = None
+        values = np.array(
+            [cube.values for cube in cover.cubes], dtype=np.uint8
+        ).reshape(len(cover), num_inputs)
+        self._matrix = _scatter_requirement_matrix(
+            num_inputs, 1, values, ((0,) for _ in range(len(cover)))
+        )
+        self._num_minterm_rows = len(cover)
+        self._num_output_rows = 1
+        return self
 
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
     @property
     def function(self) -> BooleanFunction:
-        """The source function."""
+        """The source function (built on demand for cover-backed FMs)."""
+        if self._function is None:
+            self._function = BooleanFunction.single_output(
+                self._cover, **self._cover_kwargs
+            )
         return self._function
 
     @property
     def layout(self):
-        """The two-level layout the matrix was derived from."""
+        """The two-level layout of the design (materialised on demand)."""
+        if self._layout is None:
+            from repro.crossbar.two_level import TwoLevelDesign
+
+            self._layout = TwoLevelDesign(self.function).layout
         return self._layout
 
     @property
@@ -109,8 +211,13 @@ class FunctionMatrix:
         return self.required_devices() / (self.num_rows * self.num_columns)
 
     def __repr__(self) -> str:
+        name = (
+            self._function.name
+            if self._function is not None
+            else self._cover_kwargs.get("name", "")
+        )
         return (
-            f"FunctionMatrix({self._function.name or '<anonymous>'}: "
+            f"FunctionMatrix({name or '<anonymous>'}: "
             f"{self.num_rows}x{self.num_columns}, minterms="
             f"{self._num_minterm_rows}, outputs={self._num_output_rows})"
         )

@@ -16,9 +16,17 @@ Two independent checks are provided:
 from __future__ import annotations
 
 from repro.boolean.function import BooleanFunction
-from repro.boolean.truth_table import verification_assignments
-from repro.crossbar.simulator import evaluate_two_level
+from repro.boolean.truth_table import (
+    verification_assignment_matrix,
+    verification_assignments,
+)
+from repro.crossbar.simulator import (
+    SIMULATOR_ENGINES,
+    evaluate_two_level,
+    evaluate_two_level_batch,
+)
 from repro.crossbar.two_level import TwoLevelDesign
+from repro.exceptions import CrossbarError
 from repro.defects.defect_map import DefectMap
 from repro.mapping.crossbar_matrix import CrossbarMatrix
 from repro.mapping.function_matrix import FunctionMatrix
@@ -61,13 +69,22 @@ def validate_functionally(
     *,
     exhaustive_limit: int = 10,
     samples: int = 128,
+    engine: str = "auto",
 ) -> bool:
     """End-to-end check: simulate the mapped design on the defective array.
 
     The two-level layout is permuted according to the mapping, programmed
     onto an array carrying the defect map, and evaluated against the
     source function on exhaustive (small inputs) or sampled assignments.
+    ``engine`` selects the batched tensor simulation (the default, one
+    vectorized pass over the whole assignment stream) or the scalar
+    object walk; both answer identically.
     """
+    if engine not in SIMULATOR_ENGINES:
+        raise CrossbarError(
+            f"unknown simulator engine {engine!r}; expected one of "
+            f"{list(SIMULATOR_ENGINES)}"
+        )
     if not result.success:
         return False
     design = TwoLevelDesign(function)
@@ -77,6 +94,17 @@ def validate_functionally(
         return False
     array = defect_map.to_array()
     array.program_active(permuted.active_crosspoints)
+    if engine != "object":
+        from repro.boolean.packed import evaluate_function_batch
+
+        batch = verification_assignment_matrix(
+            function.num_inputs,
+            exhaustive_limit=exhaustive_limit,
+            samples=samples,
+        )
+        simulated = evaluate_two_level_batch(permuted, batch, array=array)
+        expected = evaluate_function_batch(function, batch)
+        return bool((simulated == expected).all())
     for assignment in verification_assignments(
         function.num_inputs, exhaustive_limit=exhaustive_limit, samples=samples
     ):
