@@ -1,0 +1,213 @@
+"""Samples-to-tolerance: the adaptive sampler vs fixed sample budgets.
+
+A fixed-budget design that must *guarantee* a CI half-width of
+``tolerance`` has to provision for the worst case (success probability
+0.5), i.e. ``fixed_sample_budget(tolerance)`` samples — 38,415 of them
+for a ±0.5 % interval at 95 %.  The adaptive sampler of
+:mod:`repro.analysis` instead stops as soon as the *observed* counts
+pin the interval, which near the yield extremes the paper's circuits
+live at happens orders of magnitude earlier.  This benchmark measures
+that gap per circuit and reports the savings factor; it also shows what
+precision the paper's flat 200-sample Table II budget actually buys at
+each circuit's operating point.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py
+    PYTHONPATH=src python benchmarks/bench_adaptive.py \
+        --circuits rd53 misex1 sqrt8 --tolerance 0.005 --require 4.0
+
+or aggregated into the perf trajectory via ``benchmarks/run_all.py
+--json`` (suite name ``adaptive``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis import fixed_sample_budget, run_adaptive_monte_carlo
+from repro.circuits import get_benchmark
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+#: The paper's per-point Monte-Carlo budget (Table II).
+PAPER_BUDGET = 200
+
+
+def bench_circuit(
+    name: str,
+    *,
+    tolerance: float,
+    defect_rate: float,
+    algorithms: tuple,
+    seed: int,
+    workers: int,
+    max_samples: int,
+) -> dict:
+    """Benchmark one circuit; returns its metrics row."""
+    function = get_benchmark(name)
+    budget = fixed_sample_budget(tolerance)
+
+    start = time.perf_counter()
+    adaptive = run_adaptive_monte_carlo(
+        function,
+        tolerance=tolerance,
+        defect_rate=defect_rate,
+        algorithms=algorithms,
+        seed=seed,
+        workers=workers,
+        max_samples=max_samples,
+    )
+    adaptive_elapsed = time.perf_counter() - start
+
+    # What the paper's flat budget buys at this circuit's operating
+    # point: the half-width after exactly PAPER_BUDGET samples.
+    start = time.perf_counter()
+    fixed = run_mapping_monte_carlo(
+        function,
+        defect_rate=defect_rate,
+        sample_size=PAPER_BUDGET,
+        algorithms=algorithms,
+        seed=seed,
+        workers=workers,
+    )
+    fixed_elapsed = time.perf_counter() - start
+    fixed_half_width = max(
+        fixed.yield_estimate(algorithm).half_width for algorithm in fixed.outcomes
+    )
+
+    savings = budget / adaptive.samples_used if adaptive.samples_used else 0.0
+    verdict = "converged" if adaptive.converged else "budget hit"
+    print(
+        f"{name:10s}: +/-{tolerance:.3f} in {adaptive.samples_used:6d} samples "
+        f"({verdict}, {adaptive_elapsed:6.2f} s) | worst-case fixed budget "
+        f"{budget:6d} -> {savings:6.1f}x fewer | paper's {PAPER_BUDGET} samples "
+        f"({fixed_elapsed:.2f} s) only reach +/-{fixed_half_width:.3f}"
+    )
+    return {
+        "adaptive_samples": adaptive.samples_used,
+        "converged": adaptive.converged,
+        "fixed_budget": budget,
+        "savings_factor": round(savings, 2),
+        "adaptive_seconds": round(adaptive_elapsed, 4),
+        "paper_budget_half_width": round(fixed_half_width, 5),
+        "half_width": round(adaptive.half_width(), 5),
+    }
+
+
+def collect(
+    *,
+    circuits=("misex1", "rd53"),
+    samples=30,
+    tolerance=0.01,
+    defect_rate=0.10,
+    algorithms=("hybrid", "exact"),
+    seed=7,
+    workers=1,
+) -> dict:
+    """Run the benchmark and return machine-readable metrics.
+
+    ``samples`` scales the adaptive budget ceiling (``samples * 1000``),
+    matching the run_all convention that larger ``--samples`` means a
+    longer, more precise pass.
+    """
+    per_circuit = {
+        name: bench_circuit(
+            name,
+            tolerance=tolerance,
+            defect_rate=defect_rate,
+            algorithms=tuple(algorithms),
+            seed=seed,
+            workers=workers,
+            max_samples=samples * 1000,
+        )
+        for name in circuits
+    }
+    factors = [row["savings_factor"] for row in per_circuit.values()]
+    return {
+        "benchmark": "adaptive",
+        "circuits": list(circuits),
+        "tolerance": tolerance,
+        "defect_rate": defect_rate,
+        "seed": seed,
+        "per_circuit": per_circuit,
+        "savings_factor": round(sum(factors) / len(factors), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=["misex1", "rd53", "sqrt8"],
+        help="benchmark circuit names",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.005,
+        help="target CI half-width (default: 0.005 = +/-0.5%%)",
+    )
+    parser.add_argument(
+        "--defect-rate",
+        type=float,
+        default=0.10,
+        help="stuck-open defect rate (default: 0.10, the paper's)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["hybrid", "exact"],
+        help="registered mapper names (default: hybrid exact)",
+    )
+    parser.add_argument(
+        "--max-samples",
+        type=int,
+        default=100_000,
+        help="adaptive budget ceiling (default: 100000)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--require",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless the mean savings factor over the "
+            "worst-case fixed budget reaches this value (e.g. 4.0)"
+        ),
+    )
+    args = parser.parse_args()
+
+    budget = fixed_sample_budget(args.tolerance)
+    print(
+        f"target half-width +/-{args.tolerance:g} at 95% "
+        f"(worst-case fixed budget: {budget} samples), "
+        f"{args.defect_rate:.0%} defects, algorithms={args.algorithms}"
+    )
+    rows = [
+        bench_circuit(
+            name,
+            tolerance=args.tolerance,
+            defect_rate=args.defect_rate,
+            algorithms=tuple(args.algorithms),
+            seed=args.seed,
+            workers=args.workers,
+            max_samples=args.max_samples,
+        )
+        for name in args.circuits
+    ]
+    mean = sum(row["savings_factor"] for row in rows) / len(rows)
+    print(
+        f"mean savings: {mean:.1f}x fewer samples than the worst-case "
+        f"fixed budget over {len(rows)} circuit(s)"
+    )
+    if args.require is not None and mean < args.require:
+        raise SystemExit(
+            f"FAIL: mean savings {mean:.1f}x below required {args.require}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,8 +56,15 @@ def _run_vectorized(samples: int) -> dict:
     return collect(samples=samples)
 
 
+def _run_adaptive(samples: int) -> dict:
+    from bench_adaptive import collect
+
+    return collect(samples=samples)
+
+
 #: Benchmark name → runner(samples) returning a metrics dict.
 SUITES = {
+    "adaptive": _run_adaptive,
     "boolean": _run_boolean,
     "vectorized": _run_vectorized,
 }

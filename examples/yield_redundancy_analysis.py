@@ -1,11 +1,18 @@
-"""Redundancy / yield analysis — the paper's stated future work (§VI).
+"""Yield analysis with the adaptive `repro.analysis` API.
 
-Optimum-size crossbars cannot tolerate stuck-at-closed defects because a
-single one poisons an entire row and column.  This example sweeps the
-amount of redundancy (spare rows and columns) for the ``rd53`` benchmark
-under a defect mix that includes stuck-closed devices, and reports the
-yield/area trade-off, followed by a defect-rate sweep showing how quickly
-mapping success degrades beyond the paper's 10 % operating point.
+The paper names "area cost with redundant lines vs. defect tolerance
+performance (yield analysis)" as future work (§VI); this example runs
+that study with the analysis subsystem instead of hand-rolled sweeps:
+
+1. a *yield curve* for ``rd53`` — success probability vs defect rate
+   with Wilson confidence intervals, each point sampled adaptively to a
+   target precision rather than a fixed budget, plus the interpolated
+   inverse query ("what defect rate still yields 90 %?");
+2. a *spare-allocation search* — the smallest crossbar (in area)
+   meeting a 90 % yield target under a defect mix that includes
+   stuck-closed devices;
+3. a one-call CI-bounded yield estimate straight off the fluent
+   pipeline (``Design...yield_analysis()``).
 
 Run with::
 
@@ -14,41 +21,59 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import run_defect_sweep, run_redundancy_analysis
+from repro import Design
+from repro.analysis import compute_yield_curve, optimize_spares
 
 
 def main() -> None:
-    print("Yield vs redundancy for rd53 "
-          "(10% defects, 5% of them stuck-at-closed)\n")
-    redundancy = run_redundancy_analysis(
+    print("Yield curve for rd53 (adaptive sampling, +/-2% Wilson CIs)\n")
+    curve = compute_yield_curve(
         "rd53",
-        defect_rate=0.10,
-        stuck_open_fraction=0.95,
-        sample_size=60,
-        redundancy_levels=((0, 0), (2, 2), (4, 4), (8, 8), (16, 16)),
-        seed=5,
+        rates=(0.02, 0.05, 0.10, 0.15),
+        tolerance=0.02,
+        seed=7,
     )
-    print(redundancy.render())
+    print(curve.render())
 
     target = 0.9
-    best = redundancy.best_point_for_yield("hybrid", target)
-    if best is None:
-        print(f"\nNo swept configuration reaches {target:.0%} yield.")
-    else:
-        print(f"\nSmallest overhead reaching {target:.0%} yield: "
-              f"+{best.extra_rows} rows, +{best.extra_columns} columns "
-              f"({best.area_overhead:.0%} extra area).")
+    for algorithm in curve.algorithms:
+        rate = curve.defect_rate_at_yield(target, algorithm)
+        print(
+            f"largest defect rate still yielding {target:.0%} "
+            f"[{algorithm}]: "
+            + (f"{rate:.1%}" if rate is not None else "below the sweep")
+        )
 
-    print("\nDefect-rate sweep on the optimum-size crossbar (stuck-open only):\n")
-    sweep = run_defect_sweep(
-        "rd53", rates=(0.0, 0.05, 0.10, 0.15, 0.20, 0.30), sample_size=60, seed=6
-    )
-    print(sweep.render())
     print(
         "\nThe 'naive' column is the analytic survival probability of a"
-        "\ndefect-unaware mapping — the gap to the HBA/EA columns is the"
-        "\nyield recovered by defect-tolerant mapping."
+        "\ndefect-unaware mapping - the gap to the mapper columns is the"
+        "\nyield recovered by defect-tolerant mapping.\n"
     )
+
+    print(
+        "Spare allocation for rd53 "
+        "(5% defects, 2% of them stuck-at-closed)\n"
+    )
+    search = optimize_spares(
+        "rd53",
+        target_yield=target,
+        defect_rate=0.05,
+        stuck_open_fraction=0.98,
+        max_extra_rows=4,
+        max_extra_columns=4,
+        samples=80,
+        seed=5,
+    )
+    print(search.render())
+    print("\n" + search.summary())
+
+    print("\nOne-call adaptive yield estimate from the fluent pipeline:\n")
+    report = (
+        Design.from_benchmark("misex1")
+        .with_redundancy(rows=1, columns=1)
+        .yield_analysis(tolerance=0.02, seed=3)
+    )
+    print(report.summary())
 
 
 if __name__ == "__main__":

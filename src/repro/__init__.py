@@ -25,9 +25,27 @@ package is organised by substrate:
   engine (:class:`~repro.api.batch.BatchRunner`) behind
   ``run_mapping_monte_carlo(..., workers=N)``.
 
+* :mod:`repro.analysis` — the adaptive yield-analysis layer: binomial
+  confidence intervals, the CI-driven adaptive sampler
+  (``Design.yield_analysis()``, ``Scenario(tolerance=...)``), yield
+  curves/surfaces with threshold solving, and the spare-allocation
+  optimizer behind ``python -m repro analyze``.
+
 The most common entry points are re-exported here.
 """
 
+from repro.analysis import (
+    AdaptiveResult,
+    BinomialInterval,
+    YieldCurve,
+    YieldSurface,
+    compute_yield_curve,
+    compute_yield_surface,
+    optimize_spares,
+    run_adaptive_monte_carlo,
+    wilson_interval,
+    yield_estimate,
+)
 from repro.api.artifacts import ArtifactStore
 from repro.api.batch import BatchRunner
 from repro.api.defect_models import (
@@ -161,4 +179,14 @@ __all__ = [
     "run_mapping_monte_carlo",
     "run_defect_sweep",
     "run_redundancy_analysis",
+    "AdaptiveResult",
+    "BinomialInterval",
+    "YieldCurve",
+    "YieldSurface",
+    "compute_yield_curve",
+    "compute_yield_surface",
+    "optimize_spares",
+    "run_adaptive_monte_carlo",
+    "wilson_interval",
+    "yield_estimate",
 ]

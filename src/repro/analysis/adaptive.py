@@ -1,0 +1,324 @@
+"""Adaptive Monte-Carlo sampling: stop when the CI is tight enough.
+
+The paper's protocol fixes the sample budget (200 crossbars per point)
+no matter how decisive the evidence already is.  With the vectorized
+engine making 10^5-10^6 samples cheap, the right question inverts: *how
+many samples does a target precision need?*
+:func:`run_adaptive_monte_carlo` answers it by growing one experiment in
+deterministic batches until every tracked algorithm's binomial CI
+half-width (:mod:`repro.analysis.confidence`) reaches a tolerance —
+typically orders of magnitude below the worst-case fixed budget
+(:func:`~repro.analysis.confidence.fixed_sample_budget`) because real
+yields sit near the extremes where binomial variance collapses.
+
+Determinism guarantees (tested in ``tests/test_analysis.py``):
+
+* **Seed-stream invariance** — batch *k* covers the global sample range
+  ``[offset_k, offset_k + size_k)`` via ``run_mapping_monte_carlo(...,
+  sample_offset=offset_k)``, so every sample draws the same
+  ``derive_seed(seed, index)`` defect map it would in a fixed-budget
+  run.  An adaptive run that stops after N samples has *identical*
+  counting statistics to a fixed run of ``sample_size=N``.
+* **Worker-count invariance** — the stopping rule reads only counting
+  statistics, which the batch engine guarantees are identical for every
+  worker count; the batch schedule (``initial_batch`` growing by
+  ``growth`` up to ``max_batch``) is pure configuration.  Hence the
+  number of samples drawn — not just their results — is the same on 1
+  worker or 32.
+
+``docs/statistics.md`` discusses the sequential-looking caveat (CIs are
+computed at interim looks, so end-of-run coverage is approximately, not
+exactly, nominal).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.analysis.confidence import (
+    CI_METHODS,
+    BinomialInterval,
+    yield_estimate,
+)
+from repro.api.defect_models import DefectModel
+from repro.boolean.function import BooleanFunction
+from repro.exceptions import ExperimentError
+from repro.experiments.monte_carlo import (
+    ENGINES,
+    MonteCarloResult,
+    run_mapping_monte_carlo,
+)
+
+#: Default first-batch size (one vectorized chunk's worth of samples).
+DEFAULT_INITIAL_BATCH = 64
+
+#: Default cap on how far batches grow; bounds per-round latency and the
+#: worst-case overshoot past the stopping point.
+DEFAULT_MAX_BATCH = 8192
+
+#: Default hard ceiling on the total sample budget.
+DEFAULT_MAX_SAMPLES = 100_000
+
+
+@dataclass(frozen=True)
+class AdaptiveBatch:
+    """One round of the adaptive loop (for reporting and tests)."""
+
+    offset: int
+    size: int
+    #: Per-algorithm CI half-width of the *cumulative* counts after
+    #: this batch — the numbers the stopping rule compared to the
+    #: tolerance.
+    half_widths: dict[str, float]
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "offset": self.offset,
+            "size": self.size,
+            "half_widths": dict(self.half_widths),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdaptiveBatch":
+        """Rebuild a batch record serialized by :meth:`to_dict`."""
+        return cls(
+            offset=payload["offset"],
+            size=payload["size"],
+            half_widths=dict(payload["half_widths"]),
+        )
+
+
+@dataclass
+class AdaptiveResult:
+    """The outcome of one adaptive Monte-Carlo run."""
+
+    monte_carlo: MonteCarloResult
+    tolerance: float
+    confidence: float
+    method: str
+    converged: bool
+    batches: list[AdaptiveBatch] = field(default_factory=list)
+
+    @property
+    def samples_used(self) -> int:
+        """Total samples drawn before the loop stopped."""
+        return self.monte_carlo.sample_size
+
+    def estimates(self) -> dict[str, BinomialInterval]:
+        """Per-algorithm yield estimate with CI, from the final counts."""
+        return {
+            name: yield_estimate(
+                outcome.successes,
+                outcome.samples,
+                confidence=self.confidence,
+                method=self.method,
+            )
+            for name, outcome in self.monte_carlo.outcomes.items()
+        }
+
+    def estimate(self, algorithm: str) -> BinomialInterval:
+        """One algorithm's final yield estimate with CI."""
+        return self.monte_carlo.yield_estimate(
+            algorithm, confidence=self.confidence, method=self.method
+        )
+
+    def half_width(self) -> float:
+        """The widest final CI half-width across the algorithms."""
+        return max(
+            estimate.half_width for estimate in self.estimates().values()
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "converged" if self.converged else "budget exhausted"
+        parts = ", ".join(
+            f"{name}={estimate.describe()}"
+            for name, estimate in sorted(self.estimates().items())
+        )
+        return (
+            f"{self.monte_carlo.function_name}: {status} after "
+            f"{self.samples_used} samples ({len(self.batches)} batches, "
+            f"tolerance {self.tolerance:g}): {parts}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "monte_carlo": self.monte_carlo.to_dict(),
+            "tolerance": self.tolerance,
+            "confidence": self.confidence,
+            "method": self.method,
+            "converged": self.converged,
+            "batches": [batch.to_dict() for batch in self.batches],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdaptiveResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            monte_carlo=MonteCarloResult.from_dict(payload["monte_carlo"]),
+            tolerance=payload["tolerance"],
+            confidence=payload.get("confidence", 0.95),
+            method=payload.get("method", "wilson"),
+            converged=payload.get("converged", False),
+            batches=[
+                AdaptiveBatch.from_dict(entry)
+                for entry in payload.get("batches", [])
+            ],
+        )
+
+
+def run_adaptive_monte_carlo(
+    function: BooleanFunction,
+    *,
+    tolerance: float,
+    confidence: float = 0.95,
+    method: str = "wilson",
+    defect_rate: float = 0.10,
+    stuck_open_fraction: float = 1.0,
+    defect_model: DefectModel | str | dict | None = None,
+    algorithms=("hybrid", "exact"),
+    seed: int = 0,
+    extra_rows: int = 0,
+    extra_columns: int = 0,
+    validate: bool = True,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    engine: str = "vectorized",
+    track: str | None = None,
+    min_samples: int = 32,
+    max_samples: int = DEFAULT_MAX_SAMPLES,
+    initial_batch: int = DEFAULT_INITIAL_BATCH,
+    growth: float = 2.0,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> AdaptiveResult:
+    """Run the Monte-Carlo protocol until the CI half-width hits a target.
+
+    The experiment parameters (``function`` through ``engine``) are
+    exactly those of
+    :func:`~repro.experiments.monte_carlo.run_mapping_monte_carlo`; the
+    remaining keywords configure the adaptive loop:
+
+    tolerance:
+        Target CI half-width (e.g. ``0.005`` = ±0.5 %).  The loop stops
+        as soon as every tracked algorithm's half-width is at or below
+        it.
+    track:
+        Converge on one algorithm's CI only (``"hybrid"``); default
+        ``None`` requires *all* raced algorithms to reach the tolerance.
+    min_samples / max_samples:
+        Never stop before ``min_samples`` (guards against a lucky tiny
+        first batch) and never draw more than ``max_samples`` (the
+        budget; ``converged`` is ``False`` when it is exhausted first).
+        A budget below ``min_samples`` wins: the floor is clamped to it,
+        so a tiny ``max_samples`` runs to the ceiling and reports
+        non-convergence instead of erroring on the default floor.
+    initial_batch / growth / max_batch:
+        The deterministic batch schedule: the first batch draws
+        ``initial_batch`` samples and each following batch is ``growth``
+        times larger, capped at ``max_batch``.  Geometric growth keeps
+        the number of rounds (and engine round-trips) logarithmic while
+        bounding overshoot past the stopping point to one batch.
+    """
+    if not 0.0 < tolerance < 0.5:
+        raise ExperimentError(f"tolerance must lie in (0, 0.5), got {tolerance}")
+    if method not in CI_METHODS:
+        raise ExperimentError(
+            f"unknown CI method {method!r}; expected one of {list(CI_METHODS)}"
+        )
+    if engine not in ENGINES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
+        )
+    if initial_batch < 1:
+        raise ExperimentError(
+            f"initial_batch must be >= 1, got {initial_batch}"
+        )
+    if growth < 1.0:
+        raise ExperimentError(f"growth must be >= 1, got {growth}")
+    if max_batch < initial_batch:
+        raise ExperimentError(
+            f"max_batch ({max_batch}) must be >= initial_batch "
+            f"({initial_batch})"
+        )
+    if max_samples < 1:
+        raise ExperimentError(f"max_samples must be >= 1, got {max_samples}")
+    if len(algorithms) == 0:
+        raise ExperimentError(
+            "adaptive sampling needs at least one algorithm to track"
+        )
+    if track is not None:
+        names = (
+            list(algorithms)
+            if not isinstance(algorithms, Mapping)
+            else list(algorithms.keys())
+        )
+        if track not in names:
+            raise ExperimentError(
+                f"cannot track algorithm {track!r}; this experiment runs "
+                f"{sorted(str(name) for name in names)}"
+            )
+    min_samples = min(min_samples, max_samples)
+
+    result: MonteCarloResult | None = None
+    batches: list[AdaptiveBatch] = []
+    converged = False
+    offset = 0
+    batch = initial_batch
+    while offset < max_samples:
+        size = min(batch, max_samples - offset)
+        partial = run_mapping_monte_carlo(
+            function,
+            defect_rate=defect_rate,
+            stuck_open_fraction=stuck_open_fraction,
+            sample_size=size,
+            algorithms=algorithms,
+            seed=seed,
+            extra_rows=extra_rows,
+            extra_columns=extra_columns,
+            validate=validate,
+            workers=workers,
+            chunk_size=chunk_size,
+            defect_model=defect_model,
+            engine=engine,
+            sample_offset=offset,
+        )
+        if result is None:
+            result = partial
+        else:
+            result.merge(partial)
+        offset += size
+        half_widths = {
+            name: yield_estimate(
+                outcome.successes,
+                outcome.samples,
+                confidence=confidence,
+                method=method,
+            ).half_width
+            for name, outcome in result.outcomes.items()
+        }
+        batches.append(
+            AdaptiveBatch(
+                offset=offset - size, size=size, half_widths=half_widths
+            )
+        )
+        tracked = (
+            [half_widths[track]] if track is not None else half_widths.values()
+        )
+        if offset >= min_samples and max(tracked) <= tolerance:
+            converged = True
+            break
+        batch = min(math.ceil(batch * growth), max_batch)
+
+    assert result is not None  # max_samples >= 1 guarantees one batch
+    return AdaptiveResult(
+        monte_carlo=result,
+        tolerance=tolerance,
+        confidence=confidence,
+        method=method,
+        converged=converged,
+        batches=batches,
+    )

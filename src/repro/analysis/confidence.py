@@ -1,0 +1,298 @@
+"""Binomial confidence intervals for Monte-Carlo yield estimates.
+
+Every success rate the experiments report is a binomial proportion
+estimated from counted samples, so it deserves an interval, not just a
+point.  This module provides the two standard small-sample intervals —
+
+* **Wilson** (score) — the default: closed-form, never degenerate at
+  0 or 1 successes, and with near-nominal coverage down to a handful of
+  samples (unlike the Wald interval, whose coverage collapses near the
+  boundaries exactly where yield analysis operates);
+* **Jeffreys** — the equal-tailed Bayesian interval under the
+  ``Beta(1/2, 1/2)`` reference prior, useful as a cross-check because it
+  is derived from a completely different principle;
+
+— as pure functions of the counting statistics, so they apply equally to
+a live :class:`~repro.experiments.monte_carlo.MonteCarloResult` and to
+counts read back from a JSONL artifact.  Everything here is stdlib-only:
+the normal quantile comes from :class:`statistics.NormalDist` and the
+Jeffreys quantiles from a local regularized-incomplete-beta
+implementation (continued fraction + bisection), so the module works
+without SciPy.
+
+``docs/statistics.md`` discusses the method choice and the sequential
+use of these intervals by the adaptive sampler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from statistics import NormalDist
+
+from repro.exceptions import ExperimentError
+
+#: Interval methods this module implements.
+CI_METHODS = ("wilson", "jeffreys")
+
+
+def normal_quantile(probability: float) -> float:
+    """The standard-normal quantile ``Phi^-1(probability)``."""
+    if not 0.0 < probability < 1.0:
+        raise ExperimentError(
+            f"quantile probability must lie in (0, 1), got {probability}"
+        )
+    return NormalDist().inv_cdf(probability)
+
+
+def _check_counts(successes: int, samples: int) -> None:
+    if samples <= 0:
+        raise ExperimentError(f"samples must be positive, got {samples}")
+    if not 0 <= successes <= samples:
+        raise ExperimentError(
+            f"successes must lie in [0, {samples}], got {successes}"
+        )
+
+
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+
+
+@dataclass(frozen=True)
+class BinomialInterval:
+    """A binomial proportion with its confidence interval.
+
+    ``point`` is the maximum-likelihood estimate ``successes/samples``;
+    ``lower``/``upper`` bound the underlying success probability at the
+    stated two-sided ``confidence`` level under ``method``.
+    """
+
+    successes: int
+    samples: int
+    confidence: float
+    method: str
+    point: float
+    lower: float
+    upper: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width — the adaptive sampler's stopping metric."""
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+    def overlaps(self, other: "BinomialInterval") -> bool:
+        """Whether two intervals intersect (statistical consistency check)."""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def describe(self) -> str:
+        """Compact ``p [lo, hi] @ n`` rendering."""
+        return (
+            f"{self.point:.4f} [{self.lower:.4f}, {self.upper:.4f}] "
+            f"@ {self.samples} samples ({self.confidence:.0%} {self.method})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BinomialInterval":
+        """Rebuild an interval serialized by :meth:`to_dict`."""
+        return cls(**payload)
+
+
+def wilson_interval(
+    successes: int, samples: int, *, confidence: float = 0.95
+) -> BinomialInterval:
+    """The Wilson score interval for a binomial proportion.
+
+    Inverts the normal approximation of the *score* test rather than the
+    Wald pivot, so the interval stays inside ``[0, 1]``, is never empty,
+    and keeps close-to-nominal coverage even at 0 or ``samples``
+    successes — the regimes yield analysis lives in.
+    """
+    _check_counts(successes, samples)
+    _check_confidence(confidence)
+    z = normal_quantile((1.0 + confidence) / 2.0)
+    n = float(samples)
+    p = successes / n
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denominator
+    spread = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / n + z2 / (4.0 * n * n)
+    )
+    # The exact Wilson bounds at the boundary counts are 0 and 1; pin
+    # them so float noise cannot leave the point estimate outside its
+    # own interval.
+    lower = 0.0 if successes == 0 else max(0.0, center - spread)
+    upper = 1.0 if successes == samples else min(1.0, center + spread)
+    return BinomialInterval(
+        successes=successes,
+        samples=samples,
+        confidence=confidence,
+        method="wilson",
+        point=p,
+        lower=lower,
+        upper=upper,
+    )
+
+
+# ----------------------------------------------------------------------
+# Regularized incomplete beta (for the Jeffreys interval, SciPy-free)
+# ----------------------------------------------------------------------
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz's continued fraction for the incomplete beta integral."""
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the CDF of the ``Beta(a, b)`` distribution at ``x``."""
+    if a <= 0.0 or b <= 0.0:
+        raise ExperimentError(f"beta parameters must be positive, got {(a, b)}")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    # The continued fraction converges fast for x < (a+1)/(a+b+2);
+    # otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def beta_quantile(q: float, a: float, b: float) -> float:
+    """The ``Beta(a, b)`` quantile function, by bisection on the CDF."""
+    if not 0.0 <= q <= 1.0:
+        raise ExperimentError(f"quantile level must lie in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if regularized_incomplete_beta(a, b, mid) < q:
+            low = mid
+        else:
+            high = mid
+        if high - low < 1e-12:
+            break
+    return (low + high) / 2.0
+
+
+def jeffreys_interval(
+    successes: int, samples: int, *, confidence: float = 0.95
+) -> BinomialInterval:
+    """The Jeffreys (equal-tailed ``Beta(s+1/2, f+1/2)``) interval.
+
+    The Bayesian counterpart of :func:`wilson_interval` under the
+    Jeffreys reference prior, with the conventional boundary fix-ups:
+    the lower bound is exactly 0 when no successes were seen and the
+    upper bound exactly 1 when no failures were.
+    """
+    _check_counts(successes, samples)
+    _check_confidence(confidence)
+    alpha = 1.0 - confidence
+    a = successes + 0.5
+    b = (samples - successes) + 0.5
+    lower = 0.0 if successes == 0 else beta_quantile(alpha / 2.0, a, b)
+    upper = 1.0 if successes == samples else beta_quantile(1.0 - alpha / 2.0, a, b)
+    return BinomialInterval(
+        successes=successes,
+        samples=samples,
+        confidence=confidence,
+        method="jeffreys",
+        point=successes / samples,
+        lower=lower,
+        upper=upper,
+    )
+
+
+def yield_estimate(
+    successes: int,
+    samples: int,
+    *,
+    confidence: float = 0.95,
+    method: str = "wilson",
+) -> BinomialInterval:
+    """Point estimate + CI for a yield counted as ``successes/samples``."""
+    if method == "wilson":
+        return wilson_interval(successes, samples, confidence=confidence)
+    if method == "jeffreys":
+        return jeffreys_interval(successes, samples, confidence=confidence)
+    raise ExperimentError(
+        f"unknown CI method {method!r}; expected one of {list(CI_METHODS)}"
+    )
+
+
+def fixed_sample_budget(
+    tolerance: float, *, confidence: float = 0.95, rate: float = 0.5
+) -> int:
+    """Samples a *fixed-budget* design needs for a target CI half-width.
+
+    The a-priori (normal-approximation) sample size guaranteeing a
+    half-width of ``tolerance`` when the success probability is
+    ``rate`` — by default the worst case ``rate=0.5``, which is what a
+    fixed budget must provision for when the true yield is unknown.
+    The adaptive sampler's whole point is to undercut this number by
+    exploiting the actual (usually extreme) yield it observes.
+    """
+    if not 0.0 < tolerance < 0.5:
+        raise ExperimentError(
+            f"tolerance must lie in (0, 0.5), got {tolerance}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise ExperimentError(f"rate must lie in [0, 1], got {rate}")
+    _check_confidence(confidence)
+    z = normal_quantile((1.0 + confidence) / 2.0)
+    variance = rate * (1.0 - rate)
+    return max(1, math.ceil(z * z * variance / (tolerance * tolerance)))

@@ -378,6 +378,53 @@ class Design:
             engine=engine,
         )
 
+    def yield_analysis(
+        self,
+        *,
+        tolerance: float = 0.01,
+        confidence: float = 0.95,
+        method: str = "wilson",
+        defect_rate: float = 0.10,
+        stuck_open_fraction: float = 1.0,
+        defect_model: DefectModel | str | dict | None = None,
+        algorithms: Sequence[str] | Mapping[str, Mapper] = ("hybrid", "exact"),
+        seed: int = 0,
+        validate: bool = True,
+        workers: int | None = None,
+        engine: str = "vectorized",
+        max_samples: int = 100_000,
+    ):
+        """Estimate this design's yield to a target precision.
+
+        Runs the adaptive Monte-Carlo sampler of
+        :func:`repro.analysis.adaptive.run_adaptive_monte_carlo` on the
+        design (redundancy carries over, like :meth:`monte_carlo`),
+        drawing samples until every algorithm's binomial CI half-width
+        reaches ``tolerance`` or ``max_samples`` is exhausted.  Returns
+        an :class:`~repro.analysis.adaptive.AdaptiveResult`; its
+        ``estimate("hybrid")`` is the yield with its confidence
+        interval.
+        """
+        from repro.analysis.adaptive import run_adaptive_monte_carlo
+
+        return run_adaptive_monte_carlo(
+            self._function,
+            tolerance=tolerance,
+            confidence=confidence,
+            method=method,
+            defect_rate=defect_rate,
+            stuck_open_fraction=stuck_open_fraction,
+            defect_model=defect_model,
+            algorithms=algorithms,
+            seed=seed,
+            extra_rows=self._extra_rows,
+            extra_columns=self._extra_columns,
+            validate=validate,
+            workers=workers,
+            engine=engine,
+            max_samples=max_samples,
+        )
+
 
 @dataclass
 class MappedDesign:

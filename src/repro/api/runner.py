@@ -358,24 +358,67 @@ def _run_mapping_protocol(
     rows: list[dict] = []
     used_workers = 1
     for extra_rows, extra_columns in scenario.redundancy:
-        monte_carlo = run_mapping_monte_carlo(
-            function,
-            defect_model=model,
-            sample_size=scenario.samples,
-            algorithms=scenario.mappers,
-            seed=scenario.seed,
-            extra_rows=extra_rows,
-            extra_columns=extra_columns,
-            validate=scenario.options.get("validate", True),
-            workers=workers,
-            chunk_size=chunk_size,
-            engine=engine,
-        )
+        adaptive_summary = None
+        if scenario.tolerance is not None:
+            # Adaptive sampling (repro.analysis): the scenario's sample
+            # count becomes the budget ceiling, and the run stops as
+            # soon as every mapper's CI half-width reaches the
+            # tolerance.  The stopping rule reads counting statistics
+            # only, so the drawn sample count — not just the counts —
+            # stays worker- and engine-invariant.
+            from repro.analysis.adaptive import run_adaptive_monte_carlo
+
+            adaptive = run_adaptive_monte_carlo(
+                function,
+                tolerance=scenario.tolerance,
+                confidence=scenario.options.get("confidence", 0.95),
+                method=scenario.options.get("ci_method", "wilson"),
+                defect_model=model,
+                algorithms=scenario.mappers,
+                seed=scenario.seed,
+                extra_rows=extra_rows,
+                extra_columns=extra_columns,
+                validate=scenario.options.get("validate", True),
+                workers=workers,
+                chunk_size=chunk_size,
+                engine=engine,
+                max_samples=scenario.samples,
+            )
+            monte_carlo = adaptive.monte_carlo
+            adaptive_summary = {
+                "tolerance": adaptive.tolerance,
+                "confidence": adaptive.confidence,
+                "method": adaptive.method,
+                "converged": adaptive.converged,
+                "samples_used": adaptive.samples_used,
+                "batches": len(adaptive.batches),
+                "half_width": adaptive.half_width(),
+                "estimates": {
+                    name: estimate.to_dict()
+                    for name, estimate in adaptive.estimates().items()
+                },
+            }
+        else:
+            monte_carlo = run_mapping_monte_carlo(
+                function,
+                defect_model=model,
+                sample_size=scenario.samples,
+                algorithms=scenario.mappers,
+                seed=scenario.seed,
+                extra_rows=extra_rows,
+                extra_columns=extra_columns,
+                validate=scenario.options.get("validate", True),
+                workers=workers,
+                chunk_size=chunk_size,
+                engine=engine,
+            )
         used_workers = max(used_workers, monte_carlo.workers)
         row = {
             "redundancy": [extra_rows, extra_columns],
             "monte_carlo": monte_carlo.to_dict(),
         }
+        if adaptive_summary is not None:
+            row["adaptive"] = adaptive_summary
         rows.append(row)
         if emit is not None:
             emit(len(rows) - 1, row)

@@ -242,7 +242,15 @@ class Scenario:
         ``"mapping"`` or ``"area"`` (see the module docstring).
     options:
         Free-form JSON-safe protocol options (e.g. ``validate`` for
-        mapping, ``minimize_before_synthesis`` for area).
+        mapping, ``minimize_before_synthesis`` for area; adaptive runs
+        also honour ``confidence`` and ``ci_method``).
+    tolerance:
+        ``None`` (default) runs the fixed ``samples`` budget — the
+        paper's protocol.  A float switches the ``"mapping"`` protocol
+        to the adaptive sampler of :mod:`repro.analysis`: each
+        redundancy level draws samples until every mapper's CI
+        half-width reaches the tolerance, with ``samples`` acting as
+        the budget ceiling.
     """
 
     name: str
@@ -254,6 +262,7 @@ class Scenario:
     seed: int = 0
     protocol: str = "mapping"
     options: dict = field(default_factory=dict)
+    tolerance: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -273,6 +282,16 @@ class Scenario:
         )
         if self.protocol == "mapping" and not self.mappers:
             raise ExperimentError("a mapping scenario needs at least one mapper")
+        if self.tolerance is not None:
+            if self.protocol != "mapping":
+                raise ExperimentError(
+                    "tolerance only applies to the mapping protocol, not "
+                    f"{self.protocol!r}"
+                )
+            if not 0.0 < self.tolerance < 0.5:
+                raise ExperimentError(
+                    f"tolerance must lie in (0, 0.5), got {self.tolerance}"
+                )
 
     # ------------------------------------------------------------------
     # Convenience
@@ -287,12 +306,15 @@ class Scenario:
         samples: int | None = None,
         seed: int | None = None,
         workers: int | None = None,
+        tolerance: float | None = None,
     ) -> "Scenario":
         """A copy with CLI-style overrides applied (``None`` = keep).
 
         ``workers`` is accepted for call-site symmetry but ignored — it
         is an execution detail, not part of the spec (and therefore not
-        part of the cache key).
+        part of the cache key).  ``tolerance`` only applies to mapping
+        scenarios; area scenarios ignore it rather than erroring, so a
+        suite-wide override doesn't trip over its area members.
         """
         del workers
         updates: dict[str, Any] = {}
@@ -300,6 +322,8 @@ class Scenario:
             updates["samples"] = samples
         if seed is not None:
             updates["seed"] = seed
+        if tolerance is not None and self.protocol == "mapping":
+            updates["tolerance"] = tolerance
         return replace(self, **updates) if updates else self
 
     def describe(self) -> str:
@@ -311,18 +335,28 @@ class Scenario:
                 f"{self.samples} samples, seed {self.seed}"
             )
         levels = "+".join(f"{r}r{c}c" for r, c in self.redundancy)
+        sampling = (
+            f"adaptive to +/-{self.tolerance:g} (<= {self.samples} samples)"
+            if self.tolerance is not None
+            else f"{self.samples} samples"
+        )
         return (
             f"{self.name}: map {self.source.label()} with "
             f"{'/'.join(self.mappers)} under {model}, redundancy {levels}, "
-            f"{self.samples} samples, seed {self.seed}"
+            f"{sampling}, seed {self.seed}"
         )
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe representation (full round-trip via :meth:`from_dict`)."""
-        return {
+        """JSON-safe representation (full round-trip via :meth:`from_dict`).
+
+        ``tolerance`` is emitted only when set, so every fixed-budget
+        spec keeps the content hash (and therefore the cached artifact)
+        it had before the adaptive extension existed.
+        """
+        payload = {
             "name": self.name,
             "source": self.source.to_dict(),
             "mappers": list(self.mappers),
@@ -335,6 +369,9 @@ class Scenario:
             "protocol": self.protocol,
             "options": dict(self.options),
         }
+        if self.tolerance is not None:
+            payload["tolerance"] = self.tolerance
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Scenario":
@@ -352,6 +389,7 @@ class Scenario:
             seed=payload.get("seed", 0),
             protocol=payload.get("protocol", "mapping"),
             options=dict(payload.get("options", {})),
+            tolerance=payload.get("tolerance"),
         )
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -421,13 +459,19 @@ class ScenarioSuite:
         )
 
     def with_overrides(
-        self, *, samples: int | None = None, seed: int | None = None
+        self,
+        *,
+        samples: int | None = None,
+        seed: int | None = None,
+        tolerance: float | None = None,
     ) -> "ScenarioSuite":
         """A copy with overrides applied to every scenario."""
         return ScenarioSuite(
             self.name,
             tuple(
-                scenario.with_overrides(samples=samples, seed=seed)
+                scenario.with_overrides(
+                    samples=samples, seed=seed, tolerance=tolerance
+                )
                 for scenario in self.scenarios
             ),
         )

@@ -2,18 +2,23 @@
 
 Every experiment in the repository — the paper's Table II, the
 defect-rate sweep, the redundancy/yield study, Fig. 6, plus any
-scenario or suite saved as JSON — runs from one command::
+scenario or suite saved as JSON — runs from one command, and the
+adaptive yield-analysis layer (:mod:`repro.analysis`) runs from
+another::
 
     python -m repro run table2 --samples 5 --workers 2 --jsonl out.jsonl
     python -m repro run sweep --engine reference   # object-path ground truth
     python -m repro run my_scenario.json --json
+    python -m repro analyze curve --tolerance 0.005
+    python -m repro analyze spares --target-yield 0.9
     python -m repro list mappers
 
-``run`` streams results into a JSONL artifact store keyed by the content
-hash of each scenario spec; an immediate re-run with the same spec is a
-cache hit (no recomputation) and ``--force`` recomputes.  ``--out``
-writes the rendered tables to a file (markdown when it ends in ``.md``),
-``--json`` prints the full machine-readable result to stdout.
+``run`` and ``analyze`` stream results into a JSONL artifact store
+keyed by the content hash of each spec; an immediate re-run with the
+same spec is a cache hit (no recomputation) and ``--force`` recomputes.
+``--out`` writes the rendered tables to a file (markdown when it ends
+in ``.md``), ``--json`` prints the full machine-readable result to
+stdout.
 """
 
 from __future__ import annotations
@@ -122,7 +127,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api.runner import run_suite
 
     suite = resolve_target(args.target)
-    suite = suite.with_overrides(samples=args.samples, seed=args.seed)
+    suite = suite.with_overrides(
+        samples=args.samples, seed=args.seed, tolerance=args.tolerance
+    )
     store = ArtifactStore(args.jsonl or DEFAULT_STORE)
 
     total = len(suite)
@@ -160,13 +167,266 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default circuit per ``analyze`` mode (all three are golden-pinned or
+#: canonical demo circuits).
+ANALYZE_DEFAULT_CIRCUITS = {"yield": "rd53", "curve": "misex1", "spares": "rd53"}
+
+#: Default defect rates swept by ``analyze curve``.
+ANALYZE_DEFAULT_RATES = (0.02, 0.05, 0.10, 0.15)
+
+
+def _parse_floats(text: str, option: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ExperimentError(
+            f"{option} expects comma-separated numbers, got {text!r}"
+        ) from None
+    if not values:
+        raise ExperimentError(f"{option} needs at least one value")
+    return values
+
+
+def _parse_redundancy(text: str) -> tuple[int, int]:
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise ExperimentError(
+            f"--redundancy expects ROWS,COLS, got {text!r}"
+        )
+    try:
+        rows, columns = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ExperimentError(
+            f"--redundancy expects ROWS,COLS integers, got {text!r}"
+        ) from None
+    if rows < 0 or columns < 0:
+        raise ExperimentError(
+            f"--redundancy expects non-negative counts, got {text!r}"
+        )
+    return rows, columns
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AdaptiveResult,
+        SpareSearchResult,
+        YieldCurve,
+        cached_analysis,
+        compute_yield_curve,
+        optimize_spares,
+        run_adaptive_monte_carlo,
+    )
+    from repro.circuits.registry import get_benchmark
+
+    circuit = args.circuit or ANALYZE_DEFAULT_CIRCUITS[args.what]
+    algorithms = tuple(
+        part.strip() for part in args.algorithms.split(",") if part.strip()
+    )
+    if not algorithms:
+        raise ExperimentError(
+            f"--algorithms needs at least one mapper name, got "
+            f"{args.algorithms!r}"
+        )
+    if args.what == "spares":
+        # The spare search races a single mapper.
+        algorithms = algorithms[:1]
+    engine = "vectorized" if args.engine == "packed" else args.engine
+    tolerance = args.tolerance
+    if args.what == "yield" and tolerance is None:
+        tolerance = 0.01  # yield mode is always adaptive
+
+    # Mode-specific flags parse with a None default so a flag given to
+    # the wrong mode errors instead of being silently ignored (and
+    # silently absent from the cache spec).
+    def mode_option(value, default, option: str, *modes: str):
+        if value is not None and args.what not in modes:
+            raise ExperimentError(
+                f"{option} only applies to `analyze "
+                f"{'/'.join(modes)}`, not `analyze {args.what}`"
+            )
+        return default if value is None else value
+
+    rate = mode_option(args.rate, 0.10, "--rate", "yield", "spares")
+    rates_text = mode_option(args.rates, None, "--rates", "curve")
+    redundancy_text = mode_option(
+        args.redundancy, "0,0", "--redundancy", "yield"
+    )
+    target_yield = mode_option(
+        args.target_yield, 0.9, "--target-yield", "spares"
+    )
+    criterion = mode_option(args.criterion, "point", "--criterion", "spares")
+    max_rows = mode_option(args.max_rows, 6, "--max-rows", "spares")
+    max_cols = mode_option(args.max_cols, 6, "--max-cols", "spares")
+    mode_option(args.at_yield, None, "--at-yield", "curve")
+    # The sampling knobs follow the same errors-not-ignored policy,
+    # keyed on adaptive vs fixed-budget rather than on the mode:
+    # adaptive runs never read --samples and fixed-budget runs never
+    # read --max-samples.
+    if args.samples is not None and tolerance is not None:
+        raise ExperimentError(
+            "--samples only applies to fixed-budget runs; this run is "
+            "adaptive (--tolerance), cap it with --max-samples instead"
+        )
+    if args.max_samples is not None and tolerance is None:
+        raise ExperimentError(
+            "--max-samples only applies to adaptive runs; set "
+            "--tolerance, or use --samples for a fixed budget"
+        )
+    samples = 200 if args.samples is None else args.samples
+    max_samples = 100_000 if args.max_samples is None else args.max_samples
+    store = ArtifactStore(args.jsonl or DEFAULT_STORE)
+
+    # The spec carries every parameter that determines the counting
+    # statistics and nothing else: no execution detail (workers/engine
+    # never change a result, only its wall-clock time) and no inert
+    # sampling knob — adaptive runs never read --samples, fixed-budget
+    # runs never read --max-samples — so semantically identical
+    # invocations hash to the same cached artifact.
+    spec = {
+        "analyze": args.what,
+        "circuit": circuit,
+        "algorithms": list(algorithms),
+        "tolerance": tolerance,
+        "confidence": args.confidence,
+        "ci_method": args.ci_method,
+        "seed": args.seed,
+        "stuck_open_fraction": args.stuck_open_fraction,
+    }
+    if tolerance is None:
+        spec["samples"] = samples
+    else:
+        spec["max_samples"] = max_samples
+    if args.what == "curve":
+        rates = (
+            _parse_floats(rates_text, "--rates")
+            if rates_text
+            else ANALYZE_DEFAULT_RATES
+        )
+        # Canonical order for the cache key: the curve sorts/dedups its
+        # rates anyway, so `--rates 0.1,0.05` and `--rates 0.05,0.1`
+        # must hash (and cache) identically.
+        rates = tuple(sorted({float(rate) for rate in rates}))
+        spec["rates"] = list(rates)
+    else:
+        spec["rate"] = rate
+    if args.what == "yield":
+        redundancy = _parse_redundancy(redundancy_text)
+        spec["redundancy"] = list(redundancy)
+    if args.what == "spares":
+        spec.update(
+            {
+                "target_yield": target_yield,
+                "criterion": criterion,
+                "max_extra_rows": max_rows,
+                "max_extra_columns": max_cols,
+            }
+        )
+
+    def compute() -> dict:
+        if args.what == "yield":
+            adaptive = run_adaptive_monte_carlo(
+                get_benchmark(circuit),
+                tolerance=tolerance,
+                confidence=args.confidence,
+                method=args.ci_method,
+                defect_rate=rate,
+                stuck_open_fraction=args.stuck_open_fraction,
+                algorithms=algorithms,
+                seed=args.seed,
+                extra_rows=redundancy[0],
+                extra_columns=redundancy[1],
+                workers=args.workers,
+                engine=engine,
+                max_samples=max_samples,
+            )
+            return {"kind": "adaptive_yield", "result": adaptive.to_dict()}
+        if args.what == "curve":
+            curve = compute_yield_curve(
+                circuit,
+                rates=rates,
+                tolerance=tolerance,
+                samples=samples,
+                confidence=args.confidence,
+                method=args.ci_method,
+                algorithms=algorithms,
+                stuck_open_fraction=args.stuck_open_fraction,
+                seed=args.seed,
+                workers=args.workers,
+                engine=engine,
+                max_samples=max_samples,
+            )
+            return {"kind": "yield_curve", "result": curve.to_dict()}
+        search = optimize_spares(
+            circuit,
+            target_yield=target_yield,
+            algorithm=algorithms[0],
+            defect_rate=rate,
+            stuck_open_fraction=args.stuck_open_fraction,
+            max_extra_rows=max_rows,
+            max_extra_columns=max_cols,
+            tolerance=tolerance,
+            samples=samples,
+            confidence=args.confidence,
+            method=args.ci_method,
+            criterion=criterion,
+            seed=args.seed,
+            workers=args.workers,
+            engine=engine,
+            max_samples=max_samples,
+        )
+        return {"kind": "spare_search", "result": search.to_dict()}
+
+    payload, cached = cached_analysis(store, spec, compute, force=args.force)
+    print(
+        f"{args.what} analysis of {circuit}: "
+        + ("cached" if cached else "computed"),
+        file=sys.stderr,
+    )
+
+    if payload["kind"] == "adaptive_yield":
+        result = AdaptiveResult.from_dict(payload["result"])
+        rendered = result.summary()
+    elif payload["kind"] == "yield_curve":
+        curve_result = YieldCurve.from_dict(payload["result"])
+        rendered = curve_result.render()
+        if args.at_yield is not None:
+            lines = [rendered, ""]
+            for algorithm in curve_result.algorithms:
+                rate = curve_result.defect_rate_at_yield(
+                    args.at_yield, algorithm
+                )
+                lines.append(
+                    f"defect rate at {args.at_yield:.1%} yield "
+                    f"[{algorithm}]: "
+                    + (f"{rate:.4f}" if rate is not None else "below sweep")
+                )
+            rendered = "\n".join(lines)
+    else:
+        search_result = SpareSearchResult.from_dict(payload["result"])
+        rendered = search_result.render() + "\n\n" + search_result.summary()
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(rendered + "\n")
+        print(f"wrote {out_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not args.out:
+        print(rendered)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Declarative experiment runner for the memristive-crossbar "
-            "defect-tolerance reproduction."
+            "defect-tolerance reproduction: `run` regenerates the paper's "
+            "experiments, `analyze` runs the adaptive yield-analysis layer "
+            "(CIs, yield curves, spare allocation), `list` enumerates the "
+            "registries."
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -210,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override every scenario's seed"
     )
     run_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "switch mapping scenarios to adaptive sampling: draw until "
+            "every mapper's CI half-width reaches this value (the sample "
+            "count becomes the budget ceiling)"
+        ),
+    )
+    run_parser.add_argument(
         "--jsonl",
         metavar="PATH",
         default=None,
@@ -232,6 +502,178 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute even when the artifact store has a cached result",
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help=(
+            "adaptive yield analysis: CI-bounded yield estimates, yield "
+            "curves with threshold solving, spare-allocation search"
+        ),
+    )
+    analyze_parser.add_argument(
+        "what",
+        choices=("yield", "curve", "spares"),
+        help=(
+            "yield: adaptive CI-bounded yield of one circuit; curve: "
+            "yield vs defect rate with interpolated thresholds; spares: "
+            "minimum-area spare allocation meeting a yield target"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--circuit",
+        default=None,
+        help=(
+            "benchmark circuit (defaults per mode: "
+            + ", ".join(
+                f"{mode}={name}"
+                for mode, name in sorted(ANALYZE_DEFAULT_CIRCUITS.items())
+            )
+            + ")"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "adaptive CI half-width target (e.g. 0.005 = +/-0.5%%); "
+            "omit for a fixed --samples budget per point "
+            "(analyze yield always samples adaptively, default 0.01)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="two-sided CI confidence level (default: 0.95)",
+    )
+    analyze_parser.add_argument(
+        "--ci-method",
+        choices=("wilson", "jeffreys"),
+        default="wilson",
+        help="binomial interval method (default: wilson)",
+    )
+    analyze_parser.add_argument(
+        "--algorithms",
+        default="hybrid,exact",
+        help=(
+            "comma-separated mapper registry names (default: hybrid,exact; "
+            "spares uses the first)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="defect rate for yield/spares (default: 0.10)",
+    )
+    analyze_parser.add_argument(
+        "--rates",
+        default=None,
+        help=(
+            "comma-separated defect rates for curve (default: "
+            + ",".join(f"{rate:g}" for rate in ANALYZE_DEFAULT_RATES)
+            + ")"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--stuck-open-fraction",
+        type=float,
+        default=1.0,
+        help=(
+            "fraction of defects stuck-open (default: 1.0, the paper's "
+            "protocol; lower it to mix in stuck-closed defects)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--redundancy",
+        default=None,
+        metavar="ROWS,COLS",
+        help="spare lines for analyze yield (default: 0,0)",
+    )
+    analyze_parser.add_argument(
+        "--target-yield",
+        type=float,
+        default=None,
+        help="yield target for analyze spares (default: 0.9)",
+    )
+    analyze_parser.add_argument(
+        "--criterion",
+        choices=("point", "lower"),
+        default=None,
+        help=(
+            "spares acceptance: point estimate or CI lower bound reaches "
+            "the target (default: point)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        help="spare-row search bound for analyze spares (default: 6)",
+    )
+    analyze_parser.add_argument(
+        "--max-cols",
+        type=int,
+        default=None,
+        help="spare-column search bound for analyze spares (default: 6)",
+    )
+    analyze_parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="fixed per-point budget when --tolerance is not set (default: 200)",
+    )
+    analyze_parser.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        help="adaptive per-point budget ceiling (default: 100000)",
+    )
+    analyze_parser.add_argument(
+        "--at-yield",
+        type=float,
+        default=None,
+        help="also solve the curve for the defect rate at this yield",
+    )
+    analyze_parser.add_argument(
+        "--seed", type=int, default=0, help="root seed (default: 0)"
+    )
+    analyze_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="batch-engine worker processes (default: auto; 1 = serial)",
+    )
+    analyze_parser.add_argument(
+        "--engine",
+        choices=("vectorized", "packed", "reference"),
+        default="vectorized",
+        help="execution engine (identical statistics, different speed)",
+    )
+    analyze_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help=f"JSONL artifact store (default: {DEFAULT_STORE})",
+    )
+    analyze_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the rendered report to a file",
+    )
+    analyze_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result JSON to stdout",
+    )
+    analyze_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when the artifact store has a cached result",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     list_parser = subparsers.add_parser(
         "list", help="enumerate registered mappers, defect models or scenarios"

@@ -98,6 +98,19 @@ def naive_survival_probability(
     return (1.0 - defect_rate) ** layout.active_count()
 
 
+def naive_survival_curve(
+    function: BooleanFunction, rates
+) -> list[float]:
+    """:func:`naive_survival_probability` at each swept defect rate.
+
+    The analytic "no defect tolerance" baseline column of the yield
+    curves in :mod:`repro.analysis.yield_curves` — redundant lines do
+    not help a defect-unaware mapping (it never uses the spares), so the
+    same closed form applies at every redundancy level.
+    """
+    return [naive_survival_probability(function, rate) for rate in rates]
+
+
 def minimum_required_functional_fraction(layout: CrossbarLayout) -> float:
     """Lower bound on the fraction of functional devices a mapping needs.
 

@@ -148,6 +148,90 @@ class MonteCarloResult:
                 f"{sorted(self.outcomes)}"
             ) from None
 
+    def counting_statistics(self) -> dict:
+        """The worker- and engine-invariant projection of the result.
+
+        Strips every wall-clock field, leaving per-algorithm counts only
+        — the deterministic basis both the ``workers=1 == workers=N``
+        contract and the adaptive sampler's stopping rule operate on.
+        """
+        return {
+            name: {
+                "successes": outcome.successes,
+                "samples": outcome.samples,
+                "total_backtracks": outcome.total_backtracks,
+                "invalid_mappings": outcome.invalid_mappings,
+            }
+            for name, outcome in self.outcomes.items()
+        }
+
+    def yield_estimate(
+        self,
+        algorithm: str | None = None,
+        *,
+        confidence: float = 0.95,
+        method: str = "wilson",
+    ):
+        """Success rate with a binomial CI (:mod:`repro.analysis`).
+
+        ``algorithm`` may be omitted when the experiment raced a single
+        mapper.  Returns a
+        :class:`~repro.analysis.confidence.BinomialInterval` whose
+        ``point`` equals :attr:`AlgorithmOutcome.success_rate`.
+        """
+        from repro.analysis.confidence import yield_estimate
+
+        if algorithm is None:
+            if len(self.outcomes) != 1:
+                raise ExperimentError(
+                    "yield_estimate() needs an explicit algorithm when the "
+                    f"experiment ran {sorted(self.outcomes)}"
+                )
+            algorithm = next(iter(self.outcomes))
+        outcome = self.outcome(algorithm)
+        return yield_estimate(
+            outcome.successes,
+            outcome.samples,
+            confidence=confidence,
+            method=method,
+        )
+
+    def merge(self, other: "MonteCarloResult") -> None:
+        """Fold another result over a *disjoint* sample range into this one.
+
+        The adaptive sampler grows one experiment batch by batch: each
+        batch is an independent :class:`MonteCarloResult` over its own
+        slice of the global sample stream, and merging them yields
+        exactly the result a single fixed-budget run over the union
+        would have produced (the per-sample seed streams depend only on
+        the global index).  Both results must describe the same
+        experiment — function, defect model and engine.
+        """
+        if other.function_name != self.function_name:
+            raise ExperimentError(
+                f"cannot merge results of {other.function_name!r} into "
+                f"{self.function_name!r}"
+            )
+        if other.defect_model != self.defect_model:
+            raise ExperimentError(
+                "cannot merge results with different defect models"
+            )
+        if other.engine != self.engine:
+            raise ExperimentError(
+                f"cannot merge a {other.engine!r}-engine result into a "
+                f"{self.engine!r} one"
+            )
+        if set(other.outcomes) != set(self.outcomes):
+            raise ExperimentError(
+                f"cannot merge outcomes of {sorted(other.outcomes)} into "
+                f"{sorted(self.outcomes)}"
+            )
+        for name, outcome in other.outcomes.items():
+            self.outcomes[name].merge(outcome)
+        self.sample_size += other.sample_size
+        self.elapsed_seconds += other.elapsed_seconds
+        self.workers = max(self.workers, other.workers)
+
     def to_dict(self) -> dict:
         """JSON-safe representation."""
         return {
@@ -289,6 +373,7 @@ def run_mapping_monte_carlo(
     chunk_size: int | None = None,
     defect_model: DefectModel | str | dict | None = None,
     engine: str = "vectorized",
+    sample_offset: int = 0,
 ) -> MonteCarloResult:
     """Run the paper's Monte-Carlo mapping protocol on one function.
 
@@ -338,9 +423,20 @@ def run_mapping_monte_carlo(
         runs the original object-per-sample loop.  The two engines are
         differentially tested to produce identical counting statistics
         sample-for-sample; only wall-clock fields differ.
+    sample_offset:
+        First *global* sample index of this run (default 0).  Samples
+        draw their defect maps from ``derive_seed(seed, index)`` of the
+        global index, so a run over ``[offset, offset + sample_size)``
+        reproduces exactly that slice of a larger fixed-budget run —
+        the property the adaptive sampler of :mod:`repro.analysis`
+        builds on to grow an experiment without re-drawing any sample.
     """
     if sample_size <= 0:
         raise ExperimentError("sample_size must be positive")
+    if sample_offset < 0:
+        raise ExperimentError(
+            f"sample_offset must be non-negative, got {sample_offset}"
+        )
     if engine not in ENGINES:
         raise ExperimentError(
             f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
@@ -377,8 +473,8 @@ def run_mapping_monte_carlo(
             required_columns=function_matrix.num_columns,
             mappers=mappers,
             seed=seed,
-            start=chunk.start,
-            stop=chunk.stop,
+            start=sample_offset + chunk.start,
+            stop=sample_offset + chunk.stop,
             validate=validate,
             engine=engine,
         )
