@@ -61,6 +61,11 @@ DEFAULT_MAX_BATCH = 8192
 #: Default hard ceiling on the total sample budget.
 DEFAULT_MAX_SAMPLES = 100_000
 
+#: Default floor before the stopping rule may fire (guards against a
+#: lucky tiny first batch).  Shared with the service orchestrator, whose
+#: sharded adaptive runs must stop at exactly the same sample counts.
+DEFAULT_MIN_SAMPLES = 32
+
 
 @dataclass(frozen=True)
 class AdaptiveBatch:
@@ -189,7 +194,7 @@ def run_adaptive_monte_carlo(
     chunk_size: int | None = None,
     engine: str = "vectorized",
     track: str | None = None,
-    min_samples: int = 32,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
     max_samples: int = DEFAULT_MAX_SAMPLES,
     initial_batch: int = DEFAULT_INITIAL_BATCH,
     growth: float = 2.0,

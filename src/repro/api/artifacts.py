@@ -23,8 +23,36 @@ post-processed with ``jq`` without any repro code.
 from __future__ import annotations
 
 import json
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+@contextmanager
+def locked_file(handle):
+    """Hold an exclusive advisory lock on an open file handle.
+
+    Concurrent orchestrator workers and servers append to one shared
+    store; the lock guarantees whole records (and whole blocks, see
+    :meth:`ArtifactStore.write_block`) land contiguously instead of
+    interleaving partial JSONL lines.  Platforms without :mod:`fcntl`
+    fall back to unlocked appends — single-writer behaviour is
+    unchanged there.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield handle
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield handle
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 @dataclass
@@ -54,7 +82,8 @@ class ArtifactStore:
         """Decode the store into ``{hash: latest record}``.
 
         Malformed lines (e.g. a truncated final line from a killed run)
-        are skipped rather than poisoning the whole store.  The decoded
+        are skipped with a :class:`RuntimeWarning` naming the file and
+        line rather than poisoning the whole store.  The decoded
         result is cached against the file's ``(mtime_ns, size)`` so an
         all-cached suite re-run parses a long-lived store once, not once
         per scenario; treat the returned records as read-only.
@@ -70,35 +99,47 @@ class ArtifactStore:
             return self._scan_cache
         records: dict[str, ArtifactRecord] = {}
         with self.path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                kind = entry.get("kind")
-                spec_hash = entry.get("hash")
-                if not spec_hash:
-                    continue
-                if kind == "begin":
-                    records[spec_hash] = ArtifactRecord(
-                        spec_hash=spec_hash, spec=entry.get("spec", {})
-                    )
-                elif kind == "row":
-                    record = records.get(spec_hash)
-                    if record is not None and not record.complete:
-                        record.rows.append(entry.get("data"))
-                elif kind == "end":
-                    record = records.get(spec_hash)
-                    if record is not None and len(record.rows) == entry.get("rows"):
-                        record.complete = True
-                        record.elapsed_seconds = entry.get("elapsed_seconds", 0.0)
-                        record.workers = entry.get("workers", 1)
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            trailing = number == len(lines) and not line.endswith("\n")
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"skipping {'crash-truncated final' if trailing else 'malformed'} "
+                    f"record at {self.path}:{number}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self._decode_entry(records, entry)
         self._scan_key = key
         self._scan_cache = records
         return records
+
+    @staticmethod
+    def _decode_entry(records: dict[str, ArtifactRecord], entry: dict) -> None:
+        kind = entry.get("kind")
+        spec_hash = entry.get("hash")
+        if not spec_hash:
+            return
+        if kind == "begin":
+            records[spec_hash] = ArtifactRecord(
+                spec_hash=spec_hash, spec=entry.get("spec", {})
+            )
+        elif kind == "row":
+            record = records.get(spec_hash)
+            if record is not None and not record.complete:
+                record.rows.append(entry.get("data"))
+        elif kind == "end":
+            record = records.get(spec_hash)
+            if record is not None and len(record.rows) == entry.get("rows"):
+                record.complete = True
+                record.elapsed_seconds = entry.get("elapsed_seconds", 0.0)
+                record.workers = entry.get("workers", 1)
 
     def load(self, spec_hash: str) -> ArtifactRecord | None:
         """The latest *complete* record for a hash, or ``None``."""
@@ -113,11 +154,52 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def _append(self, entry: dict) -> None:
+    def _append_lines(self, entries: list[dict]) -> None:
+        """Append entries as one contiguous, lock-protected write."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        text = "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in entries)
+        with self.path.open("a") as handle, locked_file(handle):
+            handle.write(text)
             handle.flush()
+
+    def _append(self, entry: dict) -> None:
+        self._append_lines([entry])
+
+    def write_block(
+        self,
+        spec_hash: str,
+        spec: dict,
+        rows: list[dict],
+        *,
+        elapsed_seconds: float = 0.0,
+        workers: int = 1,
+    ) -> None:
+        """Append a complete begin/rows/end block under one lock.
+
+        The streaming :meth:`begin`/:meth:`append_row`/:meth:`finish`
+        protocol assumes a single writer per store — a second process
+        opening a block for the same hash mid-stream would orphan the
+        first block's rows.  Writers that already hold their rows (the
+        service orchestrator checkpoints chunks elsewhere and publishes
+        only finished results here) use this method instead: the whole
+        block lands contiguously, so concurrent publishers can share a
+        store safely.
+        """
+        entries: list[dict] = [{"kind": "begin", "hash": spec_hash, "spec": spec}]
+        entries.extend(
+            {"kind": "row", "hash": spec_hash, "index": index, "data": data}
+            for index, data in enumerate(rows)
+        )
+        entries.append(
+            {
+                "kind": "end",
+                "hash": spec_hash,
+                "rows": len(rows),
+                "elapsed_seconds": elapsed_seconds,
+                "workers": workers,
+            }
+        )
+        self._append_lines(entries)
 
     def begin(self, spec_hash: str, spec: dict) -> None:
         """Open a new block for a scenario (invalidates prior rows)."""

@@ -36,6 +36,9 @@ from repro.exceptions import ExperimentError, ReproError
 #: Default artifact-store location when ``--jsonl`` is not given.
 DEFAULT_STORE = ".repro/artifacts.jsonl"
 
+#: Default chunk-checkpoint directory of ``repro serve``.
+DEFAULT_CHECKPOINTS = ".repro/checkpoints"
+
 #: The experiment targets predeclared by the experiment modules.
 BUILTIN_TARGETS = ("table2", "sweep", "redundancy", "figure6")
 
@@ -417,6 +420,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import make_server
+    from repro.service.store import CheckpointStore
+
+    server = make_server(
+        args.host,
+        args.port,
+        checkpoints=CheckpointStore(args.checkpoints or DEFAULT_CHECKPOINTS),
+        artifacts=ArtifactStore(args.jsonl or DEFAULT_STORE),
+        workers=args.workers,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    # The port line is machine-readable on purpose: scripts (and the CI
+    # smoke test) bind --port 0 and parse the ephemeral port from it.
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.runtime.stop()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -674,6 +706,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute even when the artifact store has a cached result",
     )
     analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "start the HTTP job service: submit scenarios over HTTP, "
+            "shard them into checkpointed chunk jobs, resume interrupted "
+            "campaigns, share one artifact cache across clients"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (default: 8750; 0 = ephemeral, printed on start)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="chunk-executor worker processes (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--engine",
+        choices=("vectorized", "packed", "reference"),
+        default="vectorized",
+        help="execution engine for chunk jobs (identical statistics)",
+    )
+    serve_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "samples per chunk job (default: auto, derived from each "
+            "scenario's sample count — never from the local CPU count, so "
+            "checkpoints resume across machines)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoints",
+        metavar="DIR",
+        default=None,
+        help=f"chunk-checkpoint directory (default: {DEFAULT_CHECKPOINTS})",
+    )
+    serve_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help=f"shared JSONL artifact store (default: {DEFAULT_STORE})",
+    )
+    serve_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     list_parser = subparsers.add_parser(
         "list", help="enumerate registered mappers, defect models or scenarios"

@@ -123,6 +123,17 @@ class AlgorithmOutcome:
         return cls(**payload)
 
 
+def _coalesce_ranges(ranges) -> list[list[int]]:
+    """Sort half-open ``[start, stop)`` ranges and fuse the adjacent ones."""
+    merged: list[list[int]] = []
+    for start, stop in sorted(tuple(span) for span in ranges):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return merged
+
+
 @dataclass
 class MonteCarloResult:
     """Full result of one Monte-Carlo mapping experiment."""
@@ -137,6 +148,12 @@ class MonteCarloResult:
     #: Which execution engine produced the result.  Pre-engine payloads
     #: deserialise as "reference" — the behaviour they were computed with.
     engine: str = "reference"
+    #: Half-open ``[start, stop)`` global sample ranges this result
+    #: covers (coalesced, ascending).  :meth:`merge` uses them to refuse
+    #: overlapping partials — silent double-counting when
+    #: ``sample_offset`` is misused.  ``None`` on legacy payloads whose
+    #: provenance is unknown; merging such a result disables the check.
+    sample_ranges: list[list[int]] | None = None
 
     def outcome(self, algorithm: str) -> AlgorithmOutcome:
         """Aggregated outcome of one algorithm."""
@@ -226,6 +243,29 @@ class MonteCarloResult:
                 f"cannot merge outcomes of {sorted(other.outcomes)} into "
                 f"{sorted(self.outcomes)}"
             )
+        if self.sample_ranges is not None and other.sample_ranges is not None:
+            overlaps = [
+                (list(mine), list(theirs))
+                for mine in self.sample_ranges
+                for theirs in other.sample_ranges
+                if mine[0] < theirs[1] and theirs[0] < mine[1]
+            ]
+            if overlaps:
+                described = ", ".join(
+                    f"[{a[0]}, {a[1]}) overlaps [{b[0]}, {b[1]})"
+                    for a, b in overlaps
+                )
+                raise ExperimentError(
+                    "cannot merge results whose global sample ranges "
+                    f"intersect ({described}): the shared indices would be "
+                    "double-counted; give each partial run a disjoint "
+                    "sample_offset="
+                )
+            self.sample_ranges = _coalesce_ranges(
+                self.sample_ranges + other.sample_ranges
+            )
+        else:
+            self.sample_ranges = None
         for name, outcome in other.outcomes.items():
             self.outcomes[name].merge(outcome)
         self.sample_size += other.sample_size
@@ -233,8 +273,12 @@ class MonteCarloResult:
         self.workers = max(self.workers, other.workers)
 
     def to_dict(self) -> dict:
-        """JSON-safe representation."""
-        return {
+        """JSON-safe representation.
+
+        ``sample_ranges`` is emitted only when known, so payloads from
+        before range tracking round-trip byte-identically.
+        """
+        payload = {
             "function_name": self.function_name,
             "defect_rate": self.defect_rate,
             "sample_size": self.sample_size,
@@ -246,6 +290,9 @@ class MonteCarloResult:
                 name: outcome.to_dict() for name, outcome in self.outcomes.items()
             },
         }
+        if self.sample_ranges is not None:
+            payload["sample_ranges"] = [list(span) for span in self.sample_ranges]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MonteCarloResult":
@@ -258,6 +305,11 @@ class MonteCarloResult:
             workers=payload.get("workers", 1),
             defect_model=payload.get("defect_model"),
             engine=payload.get("engine", "reference"),
+            sample_ranges=(
+                [list(span) for span in payload["sample_ranges"]]
+                if payload.get("sample_ranges") is not None
+                else None
+            ),
             outcomes={
                 name: AlgorithmOutcome.from_dict(entry)
                 for name, entry in payload["outcomes"].items()
@@ -489,6 +541,7 @@ def run_mapping_monte_carlo(
         workers=plan.workers,
         defect_model=model.to_dict(),
         engine=engine,
+        sample_ranges=[[sample_offset, sample_offset + sample_size]],
     )
 
     start = time.perf_counter()

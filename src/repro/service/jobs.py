@@ -1,0 +1,259 @@
+"""The job model: shard a scenario into resumable chunk-level jobs.
+
+One *job* is one :class:`~repro.api.scenarios.Scenario` (keyed by its
+content hash, like everywhere else in the pipeline); its unit of work is
+a :class:`ChunkSpec` — a contiguous slice of one result row's global
+sample stream.  Chunking rides the same determinism contract as the
+batch engine: every sample draws its defect map from
+``derive_seed(seed, global_index)``, so executing a chunk in any
+process, on any engine, at any time produces the counting statistics of
+exactly that slice of an uninterrupted run, and merging the chunks in
+range order (:func:`assemble_rows`) reproduces the uninterrupted
+statistics bit-for-bit.
+
+Unlike the in-process :class:`~repro.api.batch.BatchRunner`, whose auto
+chunk size follows the local CPU count, service chunk plans must be
+**machine-invariant**: a campaign checkpointed on an 8-core box has to
+resume on a 2-core one with the same chunk keys.
+:func:`default_chunk_size` therefore derives the size from the sample
+count alone, and the orchestrator records the resolved size in the
+job's checkpoint spec so a resume (or an operator override) can never
+silently orphan existing checkpoints.
+
+Adaptive (``tolerance``-driven) scenarios cannot be sharded statically
+— the sample count is decided by the stopping rule as evidence
+accumulates.  They shard *wave by wave* instead: each wave is one batch
+of the deterministic geometric schedule of
+:func:`repro.analysis.adaptive.run_adaptive_monte_carlo`, itself split
+into chunk jobs (:func:`plan_range_chunks`).  Because the stopping rule
+reads counting statistics only, a resumed campaign replays the same
+schedule, loads the checkpointed waves and stops at the same sample
+count an uninterrupted run would have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.api.batch import chunk_ranges
+from repro.api.scenarios import Scenario
+from repro.exceptions import ExperimentError
+from repro.experiments.monte_carlo import VECTORIZED_MIN_CHUNK, MonteCarloResult
+
+#: Target number of chunks per result row under the default chunk size —
+#: small enough to amortise per-chunk setup, large enough that a killed
+#: campaign loses little work.
+DEFAULT_CHUNKS_PER_ROW = 16
+
+
+def default_chunk_size(samples: int) -> int:
+    """Machine-invariant default chunk size for ``samples`` per row.
+
+    Aims at :data:`DEFAULT_CHUNKS_PER_ROW` chunks, floored at the
+    vectorized engine's amortisation minimum — deliberately *not* a
+    function of the local worker count (see the module docstring).
+    """
+    if samples <= 0:
+        raise ExperimentError(f"samples must be positive, got {samples}")
+    return max(
+        min(VECTORIZED_MIN_CHUNK, samples),
+        math.ceil(samples / DEFAULT_CHUNKS_PER_ROW),
+    )
+
+
+@dataclass(frozen=True, order=True)
+class ChunkSpec:
+    """One shard: result row ``row_index``, global samples ``[start, stop)``."""
+
+    row_index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.row_index < 0:
+            raise ExperimentError(
+                f"row_index must be non-negative, got {self.row_index}"
+            )
+        if not 0 <= self.start < self.stop:
+            raise ExperimentError(
+                f"chunk needs 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def key(self) -> str:
+        """Filesystem-safe checkpoint key (sorts in range order)."""
+        return f"r{self.row_index:03d}_s{self.start:010d}_e{self.stop:010d}"
+
+    @property
+    def size(self) -> int:
+        """Number of samples the chunk covers."""
+        return self.stop - self.start
+
+
+def plan_range_chunks(
+    row_index: int, start: int, stop: int, chunk_size: int
+) -> list[ChunkSpec]:
+    """Shard the global sample range ``[start, stop)`` of one row."""
+    return [
+        ChunkSpec(row_index, start + span.start, start + span.stop)
+        for span in chunk_ranges(stop - start, chunk_size)
+    ]
+
+
+def plan_chunks(scenario: Scenario, chunk_size: int) -> list[ChunkSpec]:
+    """The full static chunk plan of a fixed-budget scenario.
+
+    Mapping scenarios shard every redundancy row's ``[0, samples)``
+    stream; area scenarios shard their single row (a non-random source
+    has exactly one sample to evaluate).  Adaptive scenarios have no
+    static plan — the orchestrator plans them wave by wave.
+    """
+    if scenario.tolerance is not None:
+        raise ExperimentError(
+            f"scenario {scenario.name!r} is adaptive; its chunks are "
+            "planned wave by wave, not statically"
+        )
+    if scenario.protocol == "area":
+        samples = scenario.samples if scenario.source.kind == "random" else 1
+        return plan_range_chunks(0, 0, samples, chunk_size)
+    return [
+        chunk
+        for row_index in range(len(scenario.redundancy))
+        for chunk in plan_range_chunks(row_index, 0, scenario.samples, chunk_size)
+    ]
+
+
+@dataclass(frozen=True)
+class ChunkJob:
+    """Picklable work unit: one chunk of one scenario, on one engine."""
+
+    spec_hash: str
+    scenario_payload: dict
+    chunk: ChunkSpec
+    engine: str = "vectorized"
+
+
+def execute_chunk(job: ChunkJob) -> dict:
+    """Execute one chunk job; a pure function of the job (picklable).
+
+    Returns the JSON-safe checkpoint payload: ``{"protocol": "mapping",
+    "monte_carlo": ...}`` or ``{"protocol": "area", "rows": [...]}``.
+    Runs serially inside the calling process — the orchestrator's pool
+    provides the parallelism across chunks.
+    """
+    scenario = Scenario.from_dict(job.scenario_payload)
+    chunk = job.chunk
+    if scenario.protocol == "area":
+        return {"protocol": "area", "rows": _execute_area_chunk(scenario, job)}
+    from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+    extra_rows, extra_columns = scenario.redundancy[chunk.row_index]
+    monte_carlo = run_mapping_monte_carlo(
+        scenario.source.build(seed=scenario.seed),
+        defect_model=scenario.resolved_defect_model(),
+        sample_size=chunk.size,
+        sample_offset=chunk.start,
+        algorithms=scenario.mappers,
+        seed=scenario.seed,
+        extra_rows=extra_rows,
+        extra_columns=extra_columns,
+        validate=scenario.options.get("validate", True),
+        workers=1,
+        chunk_size=chunk.size,
+        engine=job.engine,
+    )
+    return {"protocol": "mapping", "monte_carlo": monte_carlo.to_dict()}
+
+
+def _execute_area_chunk(scenario: Scenario, job: ChunkJob) -> list[dict]:
+    """Area-protocol chunk: reuse the runner's chunk executor."""
+    from repro.api.runner import (
+        _area_boolean_engine,
+        _AreaChunkTask,
+        _run_area_chunk,
+    )
+
+    boolean_engine = _area_boolean_engine(job.engine)
+    if scenario.source.kind != "random":
+        from repro.experiments.figure6 import evaluate_sample
+
+        sample = evaluate_sample(
+            scenario.source.build(seed=scenario.seed),
+            minimize_before_synthesis=scenario.options.get(
+                "minimize_before_synthesis", True
+            ),
+            engine=boolean_engine,
+        )
+        return [
+            {
+                "index": 0,
+                "num_products": sample.num_products,
+                "two_level_cost": sample.two_level_cost,
+                "multi_level_cost": sample.multi_level_cost,
+                "gate_count": sample.gate_count,
+            }
+        ]
+    return _run_area_chunk(
+        _AreaChunkTask(
+            source=scenario.source,
+            seed=scenario.seed,
+            start=job.chunk.start,
+            stop=job.chunk.stop,
+            minimize_before_synthesis=scenario.options.get(
+                "minimize_before_synthesis", True
+            ),
+            engine=boolean_engine,
+        )
+    )
+
+
+def merge_mapping_chunks(payloads: list[dict]) -> MonteCarloResult:
+    """Merge one row's chunk payloads (in range order) into one result.
+
+    :meth:`MonteCarloResult.merge` enforces matching experiments and
+    disjoint global sample ranges, so a stale checkpoint from a
+    different plan fails loudly instead of double-counting.
+    """
+    if not payloads:
+        raise ExperimentError("cannot merge an empty chunk list")
+    merged = MonteCarloResult.from_dict(payloads[0]["monte_carlo"])
+    for payload in payloads[1:]:
+        merged.merge(MonteCarloResult.from_dict(payload["monte_carlo"]))
+    return merged
+
+
+def assemble_rows(
+    scenario: Scenario,
+    plan: list[ChunkSpec],
+    payloads: dict[ChunkSpec, dict],
+) -> list[dict]:
+    """Assemble the final result rows from a complete static chunk plan.
+
+    Produces exactly the row shapes of
+    :class:`~repro.api.runner.ScenarioResult` so service results,
+    CLI-run results and cached artifacts stay interchangeable.
+    """
+    missing = [chunk.key for chunk in plan if chunk not in payloads]
+    if missing:
+        raise ExperimentError(
+            f"cannot assemble {scenario.name!r}: missing chunks {missing}"
+        )
+    if scenario.protocol == "area":
+        rows = [
+            row
+            for chunk in sorted(plan)
+            for row in payloads[chunk]["rows"]
+        ]
+        return sorted(rows, key=lambda row: row["index"])
+    rows = []
+    for row_index, (extra_rows, extra_columns) in enumerate(scenario.redundancy):
+        row_chunks = sorted(c for c in plan if c.row_index == row_index)
+        merged = merge_mapping_chunks([payloads[c] for c in row_chunks])
+        rows.append(
+            {
+                "redundancy": [extra_rows, extra_columns],
+                "monte_carlo": merged.to_dict(),
+            }
+        )
+    return rows

@@ -1,0 +1,436 @@
+"""Async job orchestration: supervise chunk jobs, checkpoint, resume.
+
+:class:`Orchestrator` is an asyncio supervisor over a process pool.  A
+submitted :class:`~repro.api.scenarios.Scenario` becomes a
+:class:`Job` keyed by its content hash; the job's chunk plan
+(:mod:`repro.service.jobs`) fans out across the pool, and **every
+completed chunk is checkpointed** into a
+:class:`~repro.service.store.CheckpointStore` the moment it finishes.
+Supervision is cheap — chunks execute in worker processes, so one
+event loop can juggle many campaigns and HTTP clients concurrently.
+
+Crash/resume semantics
+----------------------
+Kill the orchestrator at any instant and no state is lost beyond the
+chunks in flight: checkpoints are atomic files, so a restarted
+orchestrator re-plans the same (machine-invariant) chunk keys, loads
+the finished ones and executes **only the missing ones**.  The merged
+statistics are bit-for-bit those of an uninterrupted run, because every
+chunk is a pure function of ``(spec, global sample range, engine)`` and
+:meth:`MonteCarloResult.merge` reassembles disjoint ranges exactly.
+
+Cache sharing
+-------------
+Completed jobs publish their result twice: into the checkpoint store
+(``result.json``, the resume fast-path) and — when an
+:class:`~repro.api.artifacts.ArtifactStore` is attached — as one atomic
+JSONL block, so CLI runs, other servers and future submissions of the
+same spec all hit the same warm cache.  Concurrent submissions of one
+spec dedup onto a single in-flight job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.batch import _noop, auto_workers
+from repro.api.runner import ScenarioResult
+from repro.api.scenarios import Scenario
+from repro.exceptions import ExperimentError
+from repro.service.jobs import (
+    ChunkJob,
+    ChunkSpec,
+    default_chunk_size,
+    execute_chunk,
+    merge_mapping_chunks,
+    plan_chunks,
+    plan_range_chunks,
+    assemble_rows,
+)
+from repro.service.store import CheckpointStore
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class Job:
+    """One submitted scenario's lifecycle state."""
+
+    job_id: str
+    scenario: Scenario
+    status: str = QUEUED
+    cached: bool = False
+    total_chunks: int = 0
+    loaded_chunks: int = 0
+    executed_chunks: int = 0
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    result: ScenarioResult | None = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def completed_chunks(self) -> int:
+        """Chunks accounted for so far (checkpoint-loaded + executed)."""
+        return self.loaded_chunks + self.executed_chunks
+
+    def status_payload(self) -> dict:
+        """JSON-safe status snapshot (the HTTP ``status`` body)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.scenario.name,
+            "protocol": self.scenario.protocol,
+            "status": self.status,
+            "cached": self.cached,
+            "total_chunks": self.total_chunks,
+            "completed_chunks": self.completed_chunks,
+            "loaded_chunks": self.loaded_chunks,
+            "executed_chunks": self.executed_chunks,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class Orchestrator:
+    """Asyncio supervisor executing chunk jobs on a process pool.
+
+    Parameters
+    ----------
+    checkpoints:
+        Chunk-level checkpoint store (the resume substrate).
+    artifacts:
+        Optional shared JSONL artifact store: complete results are
+        published there as atomic blocks, and a submission whose spec
+        already has a complete artifact is answered from it without
+        computing anything.
+    workers:
+        Pool size (``None`` = the machine's CPU count).  Sandboxes
+        without process-spawn rights degrade to a thread pool — slower,
+        identical statistics.
+    engine / chunk_size:
+        Execution defaults recorded into each job's checkpoint spec;
+        resumed jobs always reuse the recorded values so their chunk
+        keys (and engine-tagged chunk payloads) keep matching.
+    """
+
+    def __init__(
+        self,
+        checkpoints: CheckpointStore,
+        *,
+        artifacts: ArtifactStore | None = None,
+        workers: int | None = None,
+        engine: str = "vectorized",
+        chunk_size: int | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ExperimentError(f"workers must be >= 1 or None, got {workers}")
+        self.checkpoints = checkpoints
+        self.artifacts = artifacts
+        self.workers = workers
+        self.engine = "vectorized" if engine == "packed" else engine
+        self.chunk_size = chunk_size
+        self.jobs: dict[str, Job] = {}
+        self._executor = None
+        self._executor_workers = 0
+
+    # ------------------------------------------------------------------
+    # Executor management
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._executor is not None:
+            return self._executor
+        workers = self.workers if self.workers is not None else auto_workers()
+        if workers > 1:
+            executor = None
+            try:
+                executor = ProcessPoolExecutor(max_workers=workers)
+                # Probe spawn rights exactly like BatchRunner: fall back
+                # to threads where process pools are unavailable.
+                executor.submit(_noop).result()
+                self._executor = executor
+                self._executor_workers = workers
+                return executor
+            except (OSError, BrokenExecutor):
+                if executor is not None:
+                    executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ThreadPoolExecutor(max_workers=workers)
+        self._executor_workers = workers
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent).
+
+        Waits for the pool to wind down — a process pool abandoned with
+        ``wait=False`` races the interpreter's atexit hooks and spews
+        ``Exception ignored`` noise on clean server exits.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Submission and queries
+    # ------------------------------------------------------------------
+    async def submit(self, scenario: Scenario) -> Job:
+        """Submit a scenario; concurrent identical submissions share one job.
+
+        Returns immediately with the (possibly pre-existing) job;
+        :meth:`wait` awaits its completion.  A job that previously
+        *failed* is retried by resubmission.
+        """
+        job_id = scenario.content_hash()
+        existing = self.jobs.get(job_id)
+        if existing is not None and existing.status != FAILED:
+            return existing
+        job = Job(job_id=job_id, scenario=scenario)
+        self.jobs[job_id] = job
+        asyncio.create_task(self._run_job(job))
+        return job
+
+    async def wait(self, job_id: str) -> Job:
+        """Await one job's completion (done or failed)."""
+        job = self.get(job_id)
+        await job.done.wait()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Look up one job."""
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ExperimentError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict:
+        """One job's status snapshot."""
+        return self.get(job_id).status_payload()
+
+    def list_jobs(self) -> list[dict]:
+        """Status snapshots of every job, oldest first."""
+        return [
+            job.status_payload()
+            for job in sorted(self.jobs.values(), key=lambda j: j.submitted_at)
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _run_job(self, job: Job) -> None:
+        job.status = RUNNING
+        started = time.perf_counter()
+        try:
+            result = self._cached_result(job)
+            if result is None:
+                rows = await self._execute(job)
+                result = ScenarioResult(
+                    scenario=job.scenario,
+                    spec_hash=job.job_id,
+                    rows=rows,
+                    elapsed_seconds=time.perf_counter() - started,
+                    workers=self._executor_workers or 1,
+                )
+                self.checkpoints.write_result(job.job_id, result.to_dict())
+                if self.artifacts is not None:
+                    self.artifacts.write_block(
+                        job.job_id,
+                        job.scenario.to_dict(),
+                        result.rows,
+                        elapsed_seconds=result.elapsed_seconds,
+                        workers=result.workers,
+                    )
+            job.result = result
+            job.status = DONE
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # surfaced through the job, not the loop
+            job.error = f"{type(error).__name__}: {error}"
+            job.status = FAILED
+        finally:
+            job.finished_at = time.time()
+            job.done.set()
+
+    def _cached_result(self, job: Job) -> ScenarioResult | None:
+        """A previously completed result for this spec, if any exists."""
+        payload = self.checkpoints.read_result(job.job_id)
+        if payload is not None:
+            result = ScenarioResult.from_dict(payload)
+            result.cached = True
+            job.cached = True
+            return result
+        if self.artifacts is not None:
+            record = self.artifacts.load(job.job_id)
+            if record is not None:
+                job.cached = True
+                return ScenarioResult.from_record(record)
+        return None
+
+    def _job_plan_settings(self, job: Job) -> tuple[int, str]:
+        """Resolve (and persist) the job's chunk size and engine.
+
+        A resumed job must re-derive the chunk keys and engine of its
+        existing checkpoints, so the values recorded at first submission
+        always win over the orchestrator's current defaults.
+        """
+        scenario = job.scenario
+        stored = self.checkpoints.read_spec(job.job_id)
+        if stored is not None:
+            return stored["chunk_size"], stored["engine"]
+        samples = scenario.samples
+        if scenario.protocol == "area" and scenario.source.kind != "random":
+            samples = 1  # a fixed function is evaluated exactly once
+        chunk_size = self.chunk_size or default_chunk_size(samples)
+        self.checkpoints.write_spec(
+            job.job_id,
+            {
+                "scenario": scenario.to_dict(),
+                "spec_hash": job.job_id,
+                "chunk_size": chunk_size,
+                "engine": self.engine,
+            },
+        )
+        return chunk_size, self.engine
+
+    async def _execute(self, job: Job) -> list[dict]:
+        chunk_size, engine = self._job_plan_settings(job)
+        if job.scenario.tolerance is not None:
+            return await self._execute_adaptive(job, chunk_size, engine)
+        plan = plan_chunks(job.scenario, chunk_size)
+        job.total_chunks = len(plan)
+        payloads = await self._run_wave(job, plan, engine)
+        return assemble_rows(job.scenario, plan, payloads)
+
+    async def _run_wave(
+        self, job: Job, plan: list[ChunkSpec], engine: str
+    ) -> dict[ChunkSpec, dict]:
+        """Run one set of chunks concurrently, loading checkpoints first."""
+        loop = asyncio.get_running_loop()
+        scenario_payload = job.scenario.to_dict()
+
+        async def run_one(chunk: ChunkSpec) -> tuple[ChunkSpec, dict]:
+            payload = self.checkpoints.read_chunk(job.job_id, chunk.key)
+            if payload is not None:
+                job.loaded_chunks += 1
+                return chunk, payload
+            payload = await loop.run_in_executor(
+                self._ensure_executor(),
+                execute_chunk,
+                ChunkJob(
+                    spec_hash=job.job_id,
+                    scenario_payload=scenario_payload,
+                    chunk=chunk,
+                    engine=engine,
+                ),
+            )
+            self.checkpoints.write_chunk(job.job_id, chunk.key, payload)
+            job.executed_chunks += 1
+            return chunk, payload
+
+        results = await asyncio.gather(*(run_one(chunk) for chunk in plan))
+        return dict(results)
+
+    async def _execute_adaptive(
+        self, job: Job, chunk_size: int, engine: str
+    ) -> list[dict]:
+        """Wave-by-wave adaptive sharding (see :mod:`repro.service.jobs`).
+
+        Replays the deterministic geometric batch schedule of
+        :func:`repro.analysis.adaptive.run_adaptive_monte_carlo` with
+        each batch sharded across the pool, stopping at exactly the
+        sample count the in-process sampler would choose — the stopping
+        rule reads counting statistics only, which are invariant to the
+        sharding.
+        """
+        from repro.analysis.adaptive import (
+            DEFAULT_INITIAL_BATCH,
+            DEFAULT_MAX_BATCH,
+            DEFAULT_MIN_SAMPLES,
+        )
+        from repro.analysis.confidence import yield_estimate
+
+        scenario = job.scenario
+        tolerance = scenario.tolerance
+        confidence = scenario.options.get("confidence", 0.95)
+        method = scenario.options.get("ci_method", "wilson")
+        max_samples = scenario.samples
+        min_samples = min(DEFAULT_MIN_SAMPLES, max_samples)
+        rows = []
+        for row_index, (extra_rows, extra_columns) in enumerate(
+            scenario.redundancy
+        ):
+            merged = None
+            batches = []
+            converged = False
+            offset, batch = 0, DEFAULT_INITIAL_BATCH
+            while offset < max_samples:
+                size = min(batch, max_samples - offset)
+                wave = plan_range_chunks(
+                    row_index, offset, offset + size, chunk_size
+                )
+                job.total_chunks += len(wave)
+                payloads = await self._run_wave(job, wave, engine)
+                partial = merge_mapping_chunks(
+                    [payloads[chunk] for chunk in sorted(wave)]
+                )
+                if merged is None:
+                    merged = partial
+                else:
+                    merged.merge(partial)
+                offset += size
+                half_widths = {
+                    name: yield_estimate(
+                        outcome.successes,
+                        outcome.samples,
+                        confidence=confidence,
+                        method=method,
+                    ).half_width
+                    for name, outcome in merged.outcomes.items()
+                }
+                batches.append(
+                    {"offset": offset - size, "size": size,
+                     "half_widths": half_widths}
+                )
+                if offset >= min_samples and max(half_widths.values()) <= tolerance:
+                    converged = True
+                    break
+                batch = min(math.ceil(batch * 2.0), DEFAULT_MAX_BATCH)
+            estimates = {
+                name: yield_estimate(
+                    outcome.successes,
+                    outcome.samples,
+                    confidence=confidence,
+                    method=method,
+                )
+                for name, outcome in merged.outcomes.items()
+            }
+            rows.append(
+                {
+                    "redundancy": [extra_rows, extra_columns],
+                    "monte_carlo": merged.to_dict(),
+                    "adaptive": {
+                        "tolerance": tolerance,
+                        "confidence": confidence,
+                        "method": method,
+                        "converged": converged,
+                        "samples_used": merged.sample_size,
+                        "batches": len(batches),
+                        "half_width": max(
+                            estimate.half_width for estimate in estimates.values()
+                        ),
+                        "estimates": {
+                            name: estimate.to_dict()
+                            for name, estimate in estimates.items()
+                        },
+                    },
+                }
+            )
+        return rows

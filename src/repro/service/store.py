@@ -1,0 +1,130 @@
+"""Crash-safe chunk checkpoints: one file per chunk, atomic renames.
+
+The JSONL :class:`~repro.api.artifacts.ArtifactStore` is ideal for
+*finished* results — append-only, greppable, one writer per block — but
+a campaign that checkpoints every completed chunk from many concurrent
+workers needs different guarantees:
+
+* a checkpoint must be **all-or-nothing** (a SIGKILL mid-write may not
+  leave a half-record that poisons the resume);
+* concurrent writers must never interleave (two orchestrator workers,
+  or two whole servers, finishing chunks at the same instant);
+* the resume scan must be cheap (list completed chunk keys without
+  parsing every payload).
+
+:class:`CheckpointStore` gets all three from the filesystem itself: each
+chunk lands in its own file, written to a unique temporary name and
+published with :func:`os.replace` — atomic on POSIX, so a reader sees
+either the complete payload or nothing, and the last of two identical
+concurrent writers wins harmlessly (chunk payload bytes are a pure
+function of the spec, the chunk range and the engine).  The directory
+listing *is* the index.
+
+Layout (one directory per job, keyed by the scenario content hash)::
+
+    <root>/<spec_hash>/
+        spec.json                    # scenario + execution plan metadata
+        chunks/<chunk_key>.json      # one completed chunk each
+        result.json                  # merged final result (presence = done)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+
+#: File name of the job-level spec/plan metadata.
+SPEC_FILE = "spec.json"
+
+#: File name of the merged final result.
+RESULT_FILE = "result.json"
+
+#: Sub-directory holding the per-chunk checkpoint files.
+CHUNKS_DIR = "chunks"
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` via a same-directory atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def read_json(path: Path) -> dict | None:
+    """Decode one JSON file; ``None`` when absent (never half-written)."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class CheckpointStore:
+    """Per-chunk campaign checkpoints under one root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def job_dir(self, spec_hash: str) -> Path:
+        """The directory holding one job's checkpoints."""
+        return self.root / spec_hash
+
+    def chunk_path(self, spec_hash: str, key: str) -> Path:
+        """The checkpoint file of one chunk."""
+        return self.job_dir(spec_hash) / CHUNKS_DIR / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Job-level spec and result
+    # ------------------------------------------------------------------
+    def write_spec(self, spec_hash: str, payload: dict) -> None:
+        """Record the job's spec + plan metadata (idempotent)."""
+        atomic_write_json(self.job_dir(spec_hash) / SPEC_FILE, payload)
+
+    def read_spec(self, spec_hash: str) -> dict | None:
+        """The job's spec payload, or ``None`` for an unknown job."""
+        return read_json(self.job_dir(spec_hash) / SPEC_FILE)
+
+    def write_result(self, spec_hash: str, payload: dict) -> None:
+        """Publish the merged final result (marks the job complete)."""
+        atomic_write_json(self.job_dir(spec_hash) / RESULT_FILE, payload)
+
+    def read_result(self, spec_hash: str) -> dict | None:
+        """The merged final result, or ``None`` while incomplete."""
+        return read_json(self.job_dir(spec_hash) / RESULT_FILE)
+
+    def jobs(self) -> list[str]:
+        """Spec hashes of every job with a recorded spec, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / SPEC_FILE).is_file()
+        )
+
+    # ------------------------------------------------------------------
+    # Chunks
+    # ------------------------------------------------------------------
+    def write_chunk(self, spec_hash: str, key: str, payload: dict) -> None:
+        """Checkpoint one completed chunk."""
+        atomic_write_json(self.chunk_path(spec_hash, key), payload)
+
+    def read_chunk(self, spec_hash: str, key: str) -> dict | None:
+        """One chunk's checkpoint, or ``None`` if it never completed."""
+        return read_json(self.chunk_path(spec_hash, key))
+
+    def completed_chunks(self, spec_hash: str) -> set[str]:
+        """Keys of every checkpointed chunk (the resume index)."""
+        chunks = self.job_dir(spec_hash) / CHUNKS_DIR
+        if not chunks.is_dir():
+            return set()
+        return {
+            entry.name[: -len(".json")]
+            for entry in chunks.iterdir()
+            if entry.name.endswith(".json") and not entry.name.startswith(".")
+        }

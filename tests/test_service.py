@@ -1,0 +1,514 @@
+"""Tests for the ``repro.service`` job orchestration + HTTP layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.runner import run_scenario
+from repro.api.scenarios import FunctionSource, Scenario
+from repro.exceptions import ExperimentError
+from repro.experiments.monte_carlo import MonteCarloResult, run_mapping_monte_carlo
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import make_server
+from repro.service.jobs import (
+    ChunkJob,
+    ChunkSpec,
+    assemble_rows,
+    default_chunk_size,
+    execute_chunk,
+    merge_mapping_chunks,
+    plan_chunks,
+    plan_range_chunks,
+)
+from repro.service.orchestrator import Orchestrator
+from repro.service.store import CheckpointStore
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    spec = {
+        "name": "svc-tiny",
+        "source": FunctionSource.benchmark("rd53"),
+        "mappers": ("hybrid",),
+        "samples": 24,
+        "seed": 3,
+    }
+    spec.update(overrides)
+    return Scenario(**spec)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# Chunk planning
+# ----------------------------------------------------------------------
+class TestChunkPlanning:
+    def test_default_chunk_size_is_machine_invariant_and_floored(self):
+        assert default_chunk_size(10) == 10  # tiny budgets stay one chunk
+        assert default_chunk_size(64) == 32  # floored at the vectorized min
+        assert default_chunk_size(16_000) == 1000  # ~16 chunks per row
+
+    def test_default_chunk_size_rejects_empty(self):
+        with pytest.raises(ExperimentError, match="positive"):
+            default_chunk_size(0)
+
+    def test_plan_covers_every_row_disjointly(self):
+        scenario = tiny_scenario(redundancy=((0, 0), (1, 2)), samples=50)
+        plan = plan_chunks(scenario, 16)
+        for row_index in (0, 1):
+            spans = sorted(
+                (c.start, c.stop) for c in plan if c.row_index == row_index
+            )
+            assert spans == [(0, 16), (16, 32), (32, 48), (48, 50)]
+
+    def test_area_fixed_function_plans_one_chunk(self):
+        scenario = Scenario(
+            name="svc-area-fixed",
+            source=FunctionSource.sop("x1 + x2 x3"),
+            protocol="area",
+            samples=100,
+        )
+        assert plan_chunks(scenario, 16) == [ChunkSpec(0, 0, 1)]
+
+    def test_adaptive_scenarios_have_no_static_plan(self):
+        with pytest.raises(ExperimentError, match="adaptive"):
+            plan_chunks(tiny_scenario(samples=100, tolerance=0.05), 16)
+
+    def test_chunk_keys_sort_in_range_order(self):
+        plan = plan_range_chunks(1, 0, 2048, 100)
+        keys = [chunk.key for chunk in plan]
+        assert keys == sorted(keys)
+
+    def test_chunk_spec_validation(self):
+        with pytest.raises(ExperimentError):
+            ChunkSpec(0, 5, 5)
+        with pytest.raises(ExperimentError):
+            ChunkSpec(-1, 0, 5)
+
+
+# ----------------------------------------------------------------------
+# Chunk execution + merge
+# ----------------------------------------------------------------------
+class TestChunkExecution:
+    def test_merged_chunks_match_uninterrupted_run(self):
+        scenario = tiny_scenario(samples=40)
+        plan = plan_chunks(scenario, 16)
+        payloads = {
+            chunk: execute_chunk(
+                ChunkJob(
+                    spec_hash=scenario.content_hash(),
+                    scenario_payload=scenario.to_dict(),
+                    chunk=chunk,
+                    engine="vectorized",
+                )
+            )
+            for chunk in plan
+        }
+        rows = assemble_rows(scenario, plan, payloads)
+        direct = run_scenario(scenario, workers=1)
+        assert [row["redundancy"] for row in rows] == [
+            row["redundancy"] for row in direct.rows
+        ]
+        merged = MonteCarloResult.from_dict(rows[0]["monte_carlo"])
+        baseline = direct.monte_carlo()
+        assert merged.counting_statistics() == baseline.counting_statistics()
+        assert merged.sample_ranges == [[0, 40]]
+
+    def test_area_chunks_match_runner_rows(self):
+        scenario = Scenario(
+            name="svc-area",
+            source=FunctionSource.random(5, max_products=4),
+            protocol="area",
+            samples=6,
+            seed=2,
+        )
+        plan = plan_chunks(scenario, 4)
+        payloads = {
+            chunk: execute_chunk(
+                ChunkJob(
+                    spec_hash=scenario.content_hash(),
+                    scenario_payload=scenario.to_dict(),
+                    chunk=chunk,
+                    engine="vectorized",
+                )
+            )
+            for chunk in plan
+        }
+        rows = assemble_rows(scenario, plan, payloads)
+        direct = run_scenario(scenario, workers=1)
+        assert rows == direct.rows
+
+    def test_assemble_rejects_missing_chunks(self):
+        scenario = tiny_scenario()
+        plan = plan_chunks(scenario, 8)
+        with pytest.raises(ExperimentError, match="missing chunks"):
+            assemble_rows(scenario, plan, {})
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            merge_mapping_chunks([])
+
+
+# ----------------------------------------------------------------------
+# Merge overlap validation (the sample_ranges satellite)
+# ----------------------------------------------------------------------
+class TestMergeOverlapValidation:
+    @staticmethod
+    def slice_result(start: int, size: int) -> MonteCarloResult:
+        scenario = tiny_scenario()
+        return run_mapping_monte_carlo(
+            scenario.source.build(),
+            sample_size=size,
+            sample_offset=start,
+            algorithms=scenario.mappers,
+            seed=scenario.seed,
+            workers=1,
+        )
+
+    def test_overlapping_ranges_raise_named_error(self):
+        first = self.slice_result(0, 16)
+        second = self.slice_result(8, 16)
+        with pytest.raises(
+            ExperimentError,
+            match=r"\[0, 16\) overlaps \[8, 24\)",
+        ):
+            first.merge(second)
+
+    def test_identical_ranges_raise(self):
+        first = self.slice_result(0, 8)
+        with pytest.raises(ExperimentError, match="double-counted"):
+            first.merge(self.slice_result(0, 8))
+
+    def test_disjoint_ranges_coalesce(self):
+        first = self.slice_result(0, 8)
+        first.merge(self.slice_result(16, 8))
+        first.merge(self.slice_result(8, 8))  # fills the gap
+        assert first.sample_ranges == [[0, 24]]
+
+    def test_legacy_payload_without_ranges_merges_unchecked(self):
+        first = self.slice_result(0, 8)
+        payload = self.slice_result(0, 8).to_dict()
+        del payload["sample_ranges"]
+        legacy = MonteCarloResult.from_dict(payload)
+        assert legacy.sample_ranges is None
+        first.merge(legacy)  # provenance unknown: no overlap check possible
+        assert first.sample_ranges is None
+
+    def test_ranges_round_trip_serialization(self):
+        result = self.slice_result(8, 8)
+        rebuilt = MonteCarloResult.from_dict(result.to_dict())
+        assert rebuilt.sample_ranges == [[8, 16]]
+        assert rebuilt.to_dict() == result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Orchestrator
+# ----------------------------------------------------------------------
+class TestOrchestrator:
+    def test_job_matches_direct_run_and_checkpoints(self, tmp_path):
+        scenario = tiny_scenario(redundancy=((0, 0), (1, 1)), samples=30)
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+
+        async def main():
+            orchestrator = Orchestrator(
+                checkpoints, workers=1, chunk_size=10
+            )
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "done", job.error
+        assert job.executed_chunks == job.total_chunks == 6
+        direct = run_scenario(scenario, workers=1)
+        assert job.result.counting_statistics() == direct.counting_statistics()
+        # every chunk and the merged result were checkpointed
+        assert len(checkpoints.completed_chunks(job.job_id)) == 6
+        assert checkpoints.read_result(job.job_id) is not None
+
+    def test_concurrent_submissions_share_one_job(self, tmp_path):
+        scenario = tiny_scenario()
+
+        async def main():
+            orchestrator = Orchestrator(
+                CheckpointStore(tmp_path / "ckpt"), workers=1, chunk_size=8
+            )
+            first, second = await asyncio.gather(
+                orchestrator.submit(scenario), orchestrator.submit(scenario)
+            )
+            await orchestrator.wait(first.job_id)
+            orchestrator.shutdown()
+            return first, second
+
+        first, second = run(main())
+        assert first is second
+        assert first.executed_chunks == 3  # computed exactly once
+
+    def test_resume_executes_only_missing_chunks(self, tmp_path):
+        scenario = tiny_scenario(samples=40)
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+        spec_hash = scenario.content_hash()
+        plan = plan_chunks(scenario, 8)
+        # Simulate a killed campaign: two chunks already checkpointed.
+        for chunk in plan[:2]:
+            payload = execute_chunk(
+                ChunkJob(
+                    spec_hash=spec_hash,
+                    scenario_payload=scenario.to_dict(),
+                    chunk=chunk,
+                    engine="vectorized",
+                )
+            )
+            checkpoints.write_chunk(spec_hash, chunk.key, payload)
+
+        async def main():
+            orchestrator = Orchestrator(checkpoints, workers=1, chunk_size=8)
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "done", job.error
+        assert job.loaded_chunks == 2
+        assert job.executed_chunks == len(plan) - 2
+        direct = run_scenario(scenario, workers=1)
+        assert job.result.counting_statistics() == direct.counting_statistics()
+
+    def test_completed_result_checkpoint_short_circuits(self, tmp_path):
+        scenario = tiny_scenario()
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+
+        async def once():
+            orchestrator = Orchestrator(checkpoints, workers=1, chunk_size=8)
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        first = run(once())
+        assert not first.cached
+        second = run(once())  # fresh orchestrator, same checkpoints
+        assert second.cached and second.result.cached
+        assert second.executed_chunks == 0
+        assert (
+            second.result.counting_statistics()
+            == first.result.counting_statistics()
+        )
+
+    def test_artifact_store_cache_and_publication(self, tmp_path):
+        scenario = tiny_scenario()
+        artifacts = ArtifactStore(tmp_path / "artifacts.jsonl")
+        # Warm the shared cache through the ordinary runner...
+        direct = run_scenario(scenario, workers=1, store=artifacts)
+
+        async def main():
+            orchestrator = Orchestrator(
+                CheckpointStore(tmp_path / "ckpt"),
+                artifacts=artifacts,
+                workers=1,
+            )
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        # ...and the service answers from it without computing anything.
+        assert job.cached
+        assert job.executed_chunks == 0
+        assert job.result.counting_statistics() == direct.counting_statistics()
+
+    def test_published_blocks_are_valid_jsonl(self, tmp_path):
+        scenario = tiny_scenario()
+        path = tmp_path / "artifacts.jsonl"
+        artifacts = ArtifactStore(path)
+
+        async def main():
+            orchestrator = Orchestrator(
+                CheckpointStore(tmp_path / "ckpt"),
+                artifacts=artifacts,
+                workers=1,
+            )
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "done", job.error
+        kinds = [
+            json.loads(line)["kind"] for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["begin", "row", "end"]
+        # A CLI re-run of the same spec is served from the shared store.
+        rerun = run_scenario(scenario, workers=1, store=artifacts)
+        assert rerun.cached
+
+    def test_failed_job_reports_error(self, tmp_path):
+        scenario = tiny_scenario(mappers=("no-such-mapper",))
+
+        async def main():
+            orchestrator = Orchestrator(
+                CheckpointStore(tmp_path / "ckpt"), workers=1
+            )
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "failed"
+        assert "no-such-mapper" in job.error
+        assert job.result is None
+
+    def test_adaptive_job_matches_direct_run(self, tmp_path):
+        scenario = tiny_scenario(samples=300, tolerance=0.08)
+
+        async def main():
+            orchestrator = Orchestrator(
+                CheckpointStore(tmp_path / "ckpt"), workers=1, chunk_size=16
+            )
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "done", job.error
+        direct = run_scenario(scenario, workers=1)
+        assert job.result.counting_statistics() == direct.counting_statistics()
+        ours, theirs = job.result.rows[0]["adaptive"], direct.rows[0]["adaptive"]
+        for field in ("samples_used", "converged", "batches", "estimates"):
+            assert ours[field] == theirs[field]
+
+    def test_adaptive_resume_stops_at_the_same_sample_count(self, tmp_path):
+        scenario = tiny_scenario(samples=300, tolerance=0.08)
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+        spec_hash = scenario.content_hash()
+        # Checkpoint the whole first wave (the 64-sample initial batch).
+        for chunk in plan_range_chunks(0, 0, 64, 16):
+            payload = execute_chunk(
+                ChunkJob(
+                    spec_hash=spec_hash,
+                    scenario_payload=scenario.to_dict(),
+                    chunk=chunk,
+                    engine="vectorized",
+                )
+            )
+            checkpoints.write_chunk(spec_hash, chunk.key, payload)
+
+        async def main():
+            orchestrator = Orchestrator(checkpoints, workers=1, chunk_size=16)
+            job = await orchestrator.submit(scenario)
+            await orchestrator.wait(job.job_id)
+            orchestrator.shutdown()
+            return job
+
+        job = run(main())
+        assert job.status == "done", job.error
+        assert job.loaded_chunks == 4
+        direct = run_scenario(scenario, workers=1)
+        assert job.result.counting_statistics() == direct.counting_statistics()
+        assert (
+            job.result.rows[0]["adaptive"]["samples_used"]
+            == direct.rows[0]["adaptive"]["samples_used"]
+        )
+
+
+# ----------------------------------------------------------------------
+# HTTP service
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service(tmp_path):
+    """A running service on an ephemeral port + a client bound to it."""
+    server = make_server(
+        "127.0.0.1",
+        0,
+        checkpoints=CheckpointStore(tmp_path / "ckpt"),
+        artifacts=ArtifactStore(tmp_path / "artifacts.jsonl"),
+        workers=1,
+        chunk_size=8,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client
+    finally:
+        server.shutdown()
+        server.runtime.stop()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestHTTPService:
+    def test_health(self, service):
+        assert service.health() == {"status": "ok"}
+
+    def test_submit_poll_result_roundtrip(self, service):
+        scenario = tiny_scenario()
+        status = service.submit(scenario)
+        assert status["job_id"] == scenario.content_hash()
+        status = service.wait(status["job_id"])
+        assert status["total_chunks"] == status["completed_chunks"] == 3
+        result = service.result(status["job_id"])
+        direct = run_scenario(scenario, workers=1)
+        assert result.counting_statistics() == direct.counting_statistics()
+        assert scenario.content_hash() in [
+            job["job_id"] for job in service.jobs()
+        ]
+
+    def test_resubmit_is_shared_and_cached(self, service):
+        scenario = tiny_scenario()
+        first = service.submit(scenario)
+        second = service.submit(scenario)  # while possibly still running
+        assert second["job_id"] == first["job_id"]
+        done = service.wait(first["job_id"])
+        resubmit = service.submit(scenario)
+        assert resubmit["status"] == "done"
+        assert resubmit["executed_chunks"] == done["executed_chunks"]
+
+    def test_artifact_lookup_serves_the_shared_cache(self, service):
+        scenario = tiny_scenario()
+        job_id = service.submit(scenario)["job_id"]
+        service.wait(job_id)
+        artifact = service.artifact(job_id)
+        assert artifact["hash"] == job_id
+        assert len(artifact["rows"]) == len(scenario.redundancy)
+
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.status("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_unknown_artifact_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.artifact("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_invalid_submission_is_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit({"not": "a scenario"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service._request("/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_failed_job_result_is_409(self, service):
+        scenario = tiny_scenario(mappers=("no-such-mapper",))
+        job_id = service.submit(scenario)["job_id"]
+        with pytest.raises(ExperimentError):
+            service.wait(job_id)
+        with pytest.raises(ServiceError) as excinfo:
+            service.result(job_id)
+        assert excinfo.value.status == 409

@@ -1,0 +1,280 @@
+"""Crash-safety and concurrency tests for the store + service layer.
+
+Three properties the service layer stakes its correctness on:
+
+* a crash-truncated artifact store stays readable (the torn trailing
+  line is skipped with a warning, not an exception);
+* N processes appending blocks to one JSONL store lose nothing and
+  never interleave partial records;
+* an orchestrator killed mid-campaign resumes from its chunk
+  checkpoints, executes *only* the missing chunks, and the merged
+  counting statistics are bit-for-bit those of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.defect_models import (
+    DefectModel,
+    register_defect_model,
+    unregister_defect_model,
+)
+from repro.api.runner import run_scenario
+from repro.api.scenarios import FunctionSource, Scenario
+from repro.defects.injection import inject_uniform
+from repro.service.orchestrator import Orchestrator
+from repro.service.store import CheckpointStore
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+# ----------------------------------------------------------------------
+# Crash-truncated / malformed store lines (hardened scan)
+# ----------------------------------------------------------------------
+class TestStoreRobustness:
+    @staticmethod
+    def complete_block(store: ArtifactStore, spec_hash: str) -> None:
+        store.write_block(spec_hash, {"name": spec_hash}, [{"value": 1}])
+
+    def test_truncated_trailing_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        store = ArtifactStore(path)
+        self.complete_block(store, "good")
+        # Simulate a crash mid-append: a torn, newline-less final record.
+        with path.open("a") as handle:
+            handle.write('{"kind": "row", "hash": "torn", "da')
+        fresh = ArtifactStore(path)
+        with pytest.warns(RuntimeWarning, match="crash-truncated final"):
+            records = fresh.scan()
+        assert records["good"].complete
+        assert fresh.load("good") is not None
+
+    def test_malformed_middle_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        store = ArtifactStore(path)
+        self.complete_block(store, "first")
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+        self.complete_block(store, "second")
+        fresh = ArtifactStore(path)
+        with pytest.warns(RuntimeWarning, match=r"malformed record at .*:4"):
+            records = fresh.scan()
+        assert records["first"].complete and records["second"].complete
+
+    def test_truncation_only_loses_the_torn_block(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        store = ArtifactStore(path)
+        self.complete_block(store, "good")
+        self.complete_block(store, "victim")
+        # Chop the file mid-way through the last block's end marker.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])
+        fresh = ArtifactStore(path)
+        with pytest.warns(RuntimeWarning, match="crash-truncated final"):
+            assert fresh.load("good") is not None
+            assert fresh.load("victim") is None  # incomplete, not poisonous
+
+
+# ----------------------------------------------------------------------
+# Multi-process append stress
+# ----------------------------------------------------------------------
+WRITER_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    from repro.api.artifacts import ArtifactStore
+
+    path, writer, blocks = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    store = ArtifactStore(path)
+    for index in range(blocks):
+        spec_hash = f"w{writer}-b{index}"
+        store.write_block(
+            spec_hash,
+            {"writer": writer, "block": index},
+            [{"writer": writer, "block": index, "row": row} for row in range(3)],
+        )
+    """
+)
+
+
+class TestConcurrentAppendStress:
+    WRITERS = 4
+    BLOCKS = 12
+
+    def test_parallel_writers_lose_nothing_and_never_interleave(self, tmp_path):
+        path = tmp_path / "artifacts.jsonl"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT, str(path), str(writer),
+                 str(self.BLOCKS)],
+                env=subprocess_env(),
+            )
+            for writer in range(self.WRITERS)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+
+        # No lost records: every block of every writer is complete.
+        store = ArtifactStore(path)
+        records = store.scan()
+        assert len(records) == self.WRITERS * self.BLOCKS
+        for writer in range(self.WRITERS):
+            for index in range(self.BLOCKS):
+                record = records[f"w{writer}-b{index}"]
+                assert record.complete
+                assert [row["row"] for row in record.rows] == [0, 1, 2]
+
+        # No interleaving: every line parses, and each block's
+        # begin/rows/end lines are contiguous in the file.
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == self.WRITERS * self.BLOCKS * 5
+        for offset in range(0, len(lines), 5):
+            block = lines[offset : offset + 5]
+            assert [entry["kind"] for entry in block] == [
+                "begin", "row", "row", "row", "end",
+            ]
+            assert len({entry["hash"] for entry in block}) == 1
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume
+# ----------------------------------------------------------------------
+DRIVER_SCRIPT = textwrap.dedent(
+    """
+    import asyncio
+    import json
+    import sys
+    import time
+
+    from repro.api.defect_models import register_defect_model
+    from repro.api.scenarios import Scenario
+    from repro.defects.injection import inject_uniform
+    from repro.service.orchestrator import Orchestrator
+    from repro.service.store import CheckpointStore
+
+    def slow_uniform(rows, columns, *, seed=0, rate=0.1):
+        time.sleep(0.03)  # slow enough for the parent to SIGTERM mid-campaign
+        return inject_uniform(rows, columns, rate, seed=seed)
+
+    register_defect_model("slow-uniform", slow_uniform)
+
+    with open(sys.argv[2]) as handle:
+        scenario = Scenario.from_dict(json.load(handle))
+
+    async def main():
+        orchestrator = Orchestrator(
+            CheckpointStore(sys.argv[1]),
+            workers=1,
+            chunk_size=4,
+            engine="reference",
+        )
+        job = await orchestrator.submit(scenario)
+        await orchestrator.wait(job.job_id)
+        orchestrator.shutdown()
+
+    asyncio.run(main())
+    print("campaign-completed", flush=True)
+    """
+)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals required")
+class TestKillAndResume:
+    @staticmethod
+    def scenario() -> Scenario:
+        return Scenario(
+            name="kill-resume",
+            source=FunctionSource.benchmark("rd53"),
+            mappers=("hybrid",),
+            samples=48,
+            seed=7,
+            defect_model=DefectModel("slow-uniform", {"rate": 0.1}),
+        )
+
+    def test_sigterm_mid_campaign_then_resume_matches_golden(self, tmp_path):
+        scenario = self.scenario()
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(json.dumps(scenario.to_dict()))
+        checkpoint_root = tmp_path / "ckpt"
+        checkpoints = CheckpointStore(checkpoint_root)
+        spec_hash = scenario.content_hash()
+        chunks_dir = checkpoint_root / spec_hash / "chunks"
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c", DRIVER_SCRIPT, str(checkpoint_root),
+             str(spec_path)],
+            env=subprocess_env(),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait for a few chunk checkpoints, then kill mid-campaign.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if len(list(chunks_dir.glob("*.json"))) >= 3:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("driver exited before writing 3 checkpoints")
+                time.sleep(0.01)
+            else:
+                pytest.fail("driver never wrote 3 chunk checkpoints")
+            proc.send_signal(signal.SIGTERM)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert "campaign-completed" not in stdout
+
+        # 48 samples / chunk_size 4 = 12 machine-invariant chunk keys.
+        surviving = checkpoints.completed_chunks(spec_hash)
+        assert 0 < len(surviving) < 12
+        assert checkpoints.read_result(spec_hash) is None
+
+        # Resume with a *fast* injector under the same model name: the
+        # defect maps are identical, only the sleep is gone.
+        def fast_uniform(rows, columns, *, seed=0, rate=0.1):
+            return inject_uniform(rows, columns, rate, seed=seed)
+
+        register_defect_model("slow-uniform", fast_uniform)
+        try:
+            import asyncio
+
+            async def resume():
+                orchestrator = Orchestrator(checkpoints, workers=1)
+                job = await orchestrator.submit(scenario)
+                await orchestrator.wait(job.job_id)
+                orchestrator.shutdown()
+                return job
+
+            job = asyncio.run(resume())
+            assert job.status == "done", job.error
+            # Only the unfinished chunks were executed.
+            assert job.loaded_chunks == len(surviving)
+            assert job.executed_chunks == 12 - len(surviving)
+            # Bit-for-bit parity with an uninterrupted golden run.
+            golden = run_scenario(scenario, workers=1)
+            assert (
+                job.result.counting_statistics()
+                == golden.counting_statistics()
+            )
+        finally:
+            unregister_defect_model("slow-uniform")
