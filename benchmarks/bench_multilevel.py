@@ -1,0 +1,168 @@
+"""Throughput of the per-stage multi-level Monte-Carlo pipeline.
+
+The multi-level path maps every sample stage by stage, so one sample
+costs several small mapping problems instead of one big one; the
+vectorized engine amortises defect generation and stage slicing across
+the whole chunk.  This benchmark runs the same multi-level Monte-Carlo
+experiment on the reference object-per-sample walk and on the batched
+per-stage kernel, verifies the counting statistics are bit-identical,
+and reports the wall-clock speedup plus the per-sample stage cost.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_multilevel.py
+    PYTHONPATH=src python benchmarks/bench_multilevel.py \
+        --circuits rd53 misex1 --samples 200 --strategy factored
+
+or aggregated into the perf trajectory via ``benchmarks/run_all.py
+--json`` (suite name ``multilevel``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.circuits import get_benchmark
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+from repro.multilevel import stage_plan_for
+
+
+def _counting_stats(result):
+    return {
+        name: (o.successes, o.samples, o.total_backtracks, o.invalid_mappings)
+        for name, o in result.outcomes.items()
+    }
+
+
+def bench_circuit(
+    name: str,
+    *,
+    samples: int,
+    defect_rate: float,
+    algorithms: tuple,
+    strategy: str,
+    extra_rows: int,
+    seed: int,
+    workers: int,
+) -> float:
+    """Benchmark one circuit; returns the vectorized/reference speedup."""
+    function = get_benchmark(name)
+    plan = stage_plan_for(function, {"strategy": strategy})
+    kwargs = dict(
+        defect_rate=defect_rate,
+        sample_size=samples,
+        algorithms=algorithms,
+        seed=seed,
+        workers=workers,
+        extra_rows=extra_rows,
+        multilevel={"strategy": strategy},
+    )
+
+    start = time.perf_counter()
+    reference = run_mapping_monte_carlo(function, engine="reference", **kwargs)
+    reference_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized = run_mapping_monte_carlo(function, engine="vectorized", **kwargs)
+    vectorized_elapsed = time.perf_counter() - start
+
+    if _counting_stats(reference) != _counting_stats(vectorized):
+        raise SystemExit(
+            f"FAIL: {name}: counting statistics differ between engines"
+        )
+
+    speedup = (
+        reference_elapsed / vectorized_elapsed if vectorized_elapsed > 0 else 0.0
+    )
+    success = reference.outcome(algorithms[0]).success_rate
+    print(
+        f"{name:10s}: {plan.num_stages} stages | reference "
+        f"{reference_elapsed:7.2f} s | vectorized {vectorized_elapsed:7.2f} s "
+        f"| speedup {speedup:5.1f}x | Psucc[{algorithms[0]}] {success:.0%} | "
+        f"statistics identical"
+    )
+    return speedup
+
+
+def collect(
+    *,
+    circuits=("rd53", "misex1"),
+    samples=60,
+    defect_rate=0.10,
+    algorithms=("hybrid",),
+    strategy="best",
+    extra_rows=1,
+    seed=7,
+    workers=1,
+) -> dict:
+    """Run the benchmark and return machine-readable metrics."""
+    speedups = {
+        name: bench_circuit(
+            name,
+            samples=samples,
+            defect_rate=defect_rate,
+            algorithms=tuple(algorithms),
+            strategy=strategy,
+            extra_rows=extra_rows,
+            seed=seed,
+            workers=workers,
+        )
+        for name in circuits
+    }
+    return {
+        "benchmark": "multilevel",
+        "circuits": list(circuits),
+        "samples": samples,
+        "defect_rate": defect_rate,
+        "strategy": strategy,
+        "extra_rows": extra_rows,
+        "seed": seed,
+        "per_circuit": {name: round(s, 2) for name, s in speedups.items()},
+        "speedup": round(sum(speedups.values()) / len(speedups), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuits", nargs="+", default=["rd53", "misex1"],
+                        help="benchmark circuit names")
+    parser.add_argument("--samples", type=int, default=200,
+                        help="Monte-Carlo sample size (default: 200, the paper's)")
+    parser.add_argument("--defect-rate", type=float, default=0.10,
+                        help="stuck-open defect rate (default: 0.10)")
+    parser.add_argument("--algorithms", nargs="+", default=["hybrid"],
+                        help="registered mapper names (default: hybrid)")
+    parser.add_argument("--strategy", default="best",
+                        help="technology-mapping strategy (default: best)")
+    parser.add_argument("--extra-rows", type=int, default=1,
+                        help="spare rows per stage bank (default: 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for BOTH engines (default: 1, "
+                        "so the speedup isolates the kernel)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--require", type=float, default=None,
+                        help="exit non-zero unless the mean speedup reaches "
+                        "this factor")
+    args = parser.parse_args()
+
+    metrics = collect(
+        circuits=tuple(args.circuits),
+        samples=args.samples,
+        defect_rate=args.defect_rate,
+        algorithms=tuple(args.algorithms),
+        strategy=args.strategy,
+        extra_rows=args.extra_rows,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(f"mean speedup: {metrics['speedup']:.1f}x")
+    if args.require is not None and metrics["speedup"] < args.require:
+        raise SystemExit(
+            f"FAIL: mean speedup {metrics['speedup']:.1f}x is below the "
+            f"required {args.require:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,12 @@ def _run_vectorized(samples: int) -> dict:
     return collect(samples=samples)
 
 
+def _run_multilevel(samples: int) -> dict:
+    from bench_multilevel import collect
+
+    return collect(samples=samples)
+
+
 def _run_adaptive(samples: int) -> dict:
     from bench_adaptive import collect
 
@@ -66,6 +72,7 @@ def _run_adaptive(samples: int) -> dict:
 SUITES = {
     "adaptive": _run_adaptive,
     "boolean": _run_boolean,
+    "multilevel": _run_multilevel,
     "vectorized": _run_vectorized,
 }
 

@@ -54,7 +54,7 @@ from repro.api.defect_models import (
     list_defect_models,
     register_defect_model,
 )
-from repro.api.pipeline import Design, MappedDesign
+from repro.api.pipeline import Design, MappedDesign, MultiLevelMappedDesign
 from repro.api.registry import (
     Mapper,
     MapperRegistry,
@@ -109,6 +109,12 @@ from repro.mapping import (
     map_with_dual_selection,
     validate_both,
 )
+from repro.multilevel import (
+    MultiLevelMappingResult,
+    MultiLevelStagePlan,
+    map_multilevel,
+    stage_plan_for,
+)
 from repro.synth import NandNetwork, best_network, technology_map
 
 __version__ = "1.2.0"
@@ -118,6 +124,11 @@ __all__ = [
     "ReproError",
     "Design",
     "MappedDesign",
+    "MultiLevelMappedDesign",
+    "MultiLevelMappingResult",
+    "MultiLevelStagePlan",
+    "map_multilevel",
+    "stage_plan_for",
     "EvaluationResult",
     "Mapper",
     "MapperRegistry",

@@ -193,6 +193,7 @@ def run_adaptive_monte_carlo(
     workers: int | None = None,
     chunk_size: int | None = None,
     engine: str = "vectorized",
+    multilevel: dict | None = None,
     track: str | None = None,
     min_samples: int = DEFAULT_MIN_SAMPLES,
     max_samples: int = DEFAULT_MAX_SAMPLES,
@@ -202,7 +203,7 @@ def run_adaptive_monte_carlo(
 ) -> AdaptiveResult:
     """Run the Monte-Carlo protocol until the CI half-width hits a target.
 
-    The experiment parameters (``function`` through ``engine``) are
+    The experiment parameters (``function`` through ``multilevel``) are
     exactly those of
     :func:`~repro.experiments.monte_carlo.run_mapping_monte_carlo`; the
     remaining keywords configure the adaptive loop:
@@ -290,6 +291,7 @@ def run_adaptive_monte_carlo(
             defect_model=defect_model,
             engine=engine,
             sample_offset=offset,
+            multilevel=multilevel,
         )
         if result is None:
             result = partial

@@ -33,6 +33,14 @@ _EXPORTS = {
     # pipeline
     "Design": "repro.api.pipeline",
     "MappedDesign": "repro.api.pipeline",
+    "MultiLevelMappedDesign": "repro.api.pipeline",
+    # multi-level staging
+    "MultiLevelMappingResult": "repro.multilevel",
+    "MultiLevelStagePlan": "repro.multilevel",
+    "build_stage_plan": "repro.multilevel",
+    "map_multilevel": "repro.multilevel",
+    "normalize_multilevel_spec": "repro.multilevel",
+    "stage_plan_for": "repro.multilevel",
     # registry
     "Mapper": "repro.api.registry",
     "MapperRegistry": "repro.api.registry",

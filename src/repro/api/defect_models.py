@@ -18,6 +18,9 @@ Built-ins (mirroring the injector module):
 * ``clustered`` — spatially clustered defects
   (``rate``, ``stuck_open_fraction``, ``cluster_radius``,
   ``cluster_spread``);
+* ``radial`` — wafer-style radial gradient, edge crosspoints
+  ``edge_factor`` times as defective as the centre at the same mean rate
+  (``rate``, ``stuck_open_fraction``, ``edge_factor``);
 * ``lines`` — whole broken nanowires
   (``broken_rows``, ``broken_columns``, ``kind``).
 
@@ -41,6 +44,7 @@ from repro.defects.injection import (
     inject_clustered,
     inject_exact_count,
     inject_line_defects,
+    inject_radial,
     inject_uniform,
 )
 from repro.defects.types import DefectType
@@ -279,6 +283,21 @@ def _clustered_model(
     )
 
 
+def _radial_model(
+    rows: int,
+    columns: int,
+    *,
+    seed: int = 0,
+    rate: float = 0.10,
+    stuck_open_fraction: float = 1.0,
+    edge_factor: float = 3.0,
+) -> DefectMap:
+    from repro.defects.types import DefectProfile
+
+    profile = DefectProfile(rate=rate, stuck_open_fraction=stuck_open_fraction)
+    return inject_radial(rows, columns, profile, edge_factor=edge_factor, seed=seed)
+
+
 def _lines_model(
     rows: int,
     columns: int,
@@ -319,6 +338,12 @@ def _validate_clustered_params(
         raise DefectError("cluster_spread must lie in [0, 1]")
 
 
+def _validate_radial_params(edge_factor: float = 3.0, **params) -> None:
+    _validate_profile_params(**params)
+    if edge_factor <= 0.0:
+        raise DefectError(f"edge_factor must be positive, got {edge_factor}")
+
+
 def _validate_exact_count_params(
     count: int = 1, kind: str = "stuck_open"
 ) -> None:
@@ -344,6 +369,7 @@ default_registry.register(
 default_registry.register(
     "clustered", _clustered_model, validate=_validate_clustered_params
 )
+default_registry.register("radial", _radial_model, validate=_validate_radial_params)
 default_registry.register("lines", _lines_model, validate=_validate_lines_params)
 
 

@@ -69,15 +69,24 @@ class Design:
         dual_selection: DualSelection | None = None,
         extra_rows: int = 0,
         extra_columns: int = 0,
+        multilevel: dict | None = None,
+        staged: bool = False,
     ):
         self._function = function
         self._steps = tuple(steps)
         self._dual_selection = dual_selection
         self._extra_rows = int(extra_rows)
         self._extra_columns = int(extra_columns)
+        self._multilevel = multilevel
+        self._staged = bool(staged)
         self._matrix: FunctionMatrix | None = None
+        self._stage_plan = None
         if self._extra_rows < 0 or self._extra_columns < 0:
             raise ExperimentError("redundancy must be non-negative")
+        if self._staged and self._multilevel is None:
+            raise ExperimentError(
+                "a staged design needs a multi-level spec (use .decompose())"
+            )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -164,8 +173,56 @@ class Design:
         return self._matrix
 
     @property
+    def multilevel(self) -> dict | None:
+        """The multi-level spec recorded by :meth:`decompose` (or None)."""
+        return self._multilevel
+
+    @property
+    def is_staged(self) -> bool:
+        """True once :meth:`tech_map` materialised the stage plan."""
+        return self._staged
+
+    def stage_plan(self):
+        """The per-stage plan of a staged design (cached — immutable).
+
+        Only available after :meth:`tech_map`.
+        """
+        if not self._staged:
+            raise ExperimentError(
+                "the design is not staged; call .decompose(...).tech_map() first"
+            )
+        if self._stage_plan is None:
+            from repro.multilevel import stage_plan_for
+
+            self._stage_plan = stage_plan_for(self._function, self._multilevel)
+        return self._stage_plan
+
+    def multilevel_design(self):
+        """The staged :class:`~repro.crossbar.multi_level.MultiLevelDesign`."""
+        return self.stage_plan().design
+
+    def multilevel_area_report(self):
+        """Two-level vs multi-level area comparison for this circuit
+        (:func:`repro.synth.area.multilevel_area_report`), using the
+        staged network."""
+        from repro.synth.area import multilevel_area_report
+
+        return multilevel_area_report(self.stage_plan().network)
+
+    @property
     def crossbar_shape(self) -> tuple[int, int]:
-        """Physical crossbar shape including redundancy, ``(rows, cols)``."""
+        """Physical crossbar shape including redundancy, ``(rows, cols)``.
+
+        For a staged design this is the multi-level array: all per-stage
+        row banks (each padded with ``extra_rows`` spare rows) over the
+        shared columns plus spare columns.
+        """
+        if self._staged:
+            plan = self.stage_plan()
+            return (
+                plan.physical_rows(self._extra_rows),
+                plan.num_columns + self._extra_columns,
+            )
         matrix = self.function_matrix()
         return (
             matrix.num_rows + self._extra_rows,
@@ -188,6 +245,8 @@ class Design:
             f"  crossbar: {rows} x {columns} = {self.area} crosspoints",
             "  steps: " + " -> ".join(self._steps),
         ]
+        if self._staged:
+            lines.insert(2, f"  stages: {self.stage_plan().describe()}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -203,6 +262,8 @@ class Design:
             dual_selection=overrides.get("dual_selection", self._dual_selection),
             extra_rows=overrides.get("extra_rows", self._extra_rows),
             extra_columns=overrides.get("extra_columns", self._extra_columns),
+            multilevel=overrides.get("multilevel", self._multilevel),
+            staged=overrides.get("staged", self._staged),
         )
 
     # ------------------------------------------------------------------
@@ -241,6 +302,57 @@ class Design:
         """Rename the underlying circuit."""
         return self._evolve(self._function.with_name(name), f"with_name({name})")
 
+    def decompose(
+        self,
+        *,
+        strategy: str = "best",
+        max_fanin: int | None = None,
+        share_gates: bool = True,
+    ) -> "Design":
+        """Record a multi-level decomposition spec (§III of the paper).
+
+        Declares that the design should be realised as a staged
+        multi-level crossbar — the function technology-mapped into a
+        NAND network and partitioned into per-level row banks — rather
+        than the flat two-level array.  The spec is pure data; call
+        :meth:`tech_map` to materialise the stage plan before a terminal
+        step.  ``strategy`` / ``max_fanin`` / ``share_gates`` are the
+        :class:`repro.synth.tech_map.MappingOptions` knobs.
+        """
+        from repro.multilevel import normalize_multilevel_spec
+
+        spec = normalize_multilevel_spec(
+            {
+                "strategy": strategy,
+                "max_fanin": max_fanin,
+                "share_gates": share_gates,
+            }
+        )
+        return self._evolve(
+            self._function,
+            f"decompose({strategy})",
+            multilevel=spec,
+            staged=False,
+        )
+
+    def tech_map(self) -> "Design":
+        """Technology-map the decomposed design and stage it.
+
+        Materialises the multi-level stage plan eagerly so synthesis
+        errors surface here, not inside a Monte-Carlo worker.  Requires
+        a prior :meth:`decompose`.
+        """
+        if self._multilevel is None:
+            raise ExperimentError(
+                "nothing to tech-map; call .decompose(...) first"
+            )
+        from repro.multilevel import stage_plan_for
+
+        plan = stage_plan_for(self._function, self._multilevel)
+        design = self._evolve(self._function, "tech_map", staged=True)
+        design._stage_plan = plan
+        return design
+
     # ------------------------------------------------------------------
     # Terminal steps
     # ------------------------------------------------------------------
@@ -277,6 +389,7 @@ class Design:
             check in :meth:`MappedDesign.evaluate`; the cheap
             matrix-level check always runs for successful mappings.
         """
+        self._require_staged_if_decomposed("map")
         rows, columns = self.crossbar_shape
         if isinstance(defects, DefectMap):
             if (defects.rows, defects.columns) != (rows, columns):
@@ -305,6 +418,11 @@ class Design:
                 )
             mapper = algorithm
             algorithm_name = getattr(mapper, "algorithm_name", type(mapper).__name__)
+
+        if self._staged:
+            return self._map_staged(
+                defect_map, mapper, algorithm_name, validate=validate
+            )
 
         matrix = self.function_matrix()
         effective_map = defect_map
@@ -337,6 +455,53 @@ class Design:
             validate=validate,
         )
 
+    def _require_staged_if_decomposed(self, terminal: str) -> None:
+        if self._multilevel is not None and not self._staged:
+            raise ExperimentError(
+                f"the design is decomposed but not staged; call .tech_map() "
+                f"before .{terminal}()"
+            )
+
+    def _map_staged(
+        self, defect_map: DefectMap, mapper, algorithm_name: str, *, validate: bool
+    ) -> "MultiLevelMappedDesign":
+        """Per-stage mapping of one staged sample (the multi-level walk)."""
+        from repro.multilevel import map_multilevel
+        from repro.multilevel.mapping import MultiLevelMappingResult
+
+        plan = self.stage_plan()
+        effective_map = defect_map
+        result: MultiLevelMappingResult | None = None
+        if self._extra_columns > 0:
+            from repro.experiments.monte_carlo import repair_spare_columns
+
+            repaired = repair_spare_columns(defect_map, plan.num_columns)
+            if repaired is None:
+                result = MultiLevelMappingResult(
+                    success=False,
+                    failure_reason=(
+                        "too few usable columns remain after steering around "
+                        "stuck-closed spares"
+                    ),
+                )
+            else:
+                effective_map = repaired
+        if result is None:
+            result = map_multilevel(
+                plan,
+                mapper,
+                effective_map,
+                extra_rows=self._extra_rows,
+                validate=validate,
+            )
+        return MultiLevelMappedDesign(
+            design=self._evolve(self._function, f"map[{algorithm_name}]"),
+            defect_map=defect_map,
+            effective_map=effective_map,
+            result=result,
+            algorithm=algorithm_name,
+        )
+
     def monte_carlo(
         self,
         *,
@@ -362,6 +527,7 @@ class Design:
         """
         from repro.experiments.monte_carlo import run_mapping_monte_carlo
 
+        self._require_staged_if_decomposed("monte_carlo")
         return run_mapping_monte_carlo(
             self._function,
             defect_rate=defect_rate,
@@ -376,6 +542,7 @@ class Design:
             chunk_size=chunk_size,
             defect_model=defect_model,
             engine=engine,
+            multilevel=self._multilevel if self._staged else None,
         )
 
     def yield_analysis(
@@ -407,6 +574,7 @@ class Design:
         """
         from repro.analysis.adaptive import run_adaptive_monte_carlo
 
+        self._require_staged_if_decomposed("yield_analysis")
         return run_adaptive_monte_carlo(
             self._function,
             tolerance=tolerance,
@@ -422,6 +590,7 @@ class Design:
             validate=validate,
             workers=workers,
             engine=engine,
+            multilevel=self._multilevel if self._staged else None,
             max_samples=max_samples,
         )
 
@@ -540,4 +709,84 @@ class MappedDesign:
             effective_map=effective_map,
             result=MappingResult.from_dict(payload["result"]),
             validate=payload.get("validate", True),
+        )
+
+
+@dataclass
+class MultiLevelMappedDesign:
+    """A staged design mapped stage-by-stage onto one defective array.
+
+    The multi-level counterpart of :class:`MappedDesign`: ``result`` is
+    the whole-network
+    :class:`~repro.multilevel.mapping.MultiLevelMappingResult` of the
+    per-stage walk.  Evaluation is matrix-level only — each stage's
+    assignment is validated against its row bank during the walk; there
+    is no two-level functional simulation of the staged array.
+    """
+
+    design: Design
+    defect_map: DefectMap
+    effective_map: DefectMap
+    result: "object"
+    algorithm: str
+
+    @property
+    def success(self) -> bool:
+        """Whether every stage found a defect-avoiding assignment."""
+        return self.result.success
+
+    def __bool__(self) -> bool:
+        return self.success
+
+    def summary(self) -> str:
+        """One-line summary of the per-stage walk."""
+        return f"{self.algorithm} (multi-level): {self.result.summary()}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the staged mapping."""
+        return {
+            "function": function_to_dict(self.design.function),
+            "steps": list(self.design.steps),
+            "multilevel": dict(self.design.multilevel or {}),
+            "extra_rows": self.design.extra_rows,
+            "extra_columns": self.design.extra_columns,
+            "defect_map": defect_map_to_dict(self.defect_map),
+            "result": self.result.to_dict(),
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MultiLevelMappedDesign":
+        """Rebuild a snapshot produced by :meth:`to_dict`.
+
+        Like :class:`MappedDesign`, the effective (column-repaired) map
+        is re-derived rather than persisted.
+        """
+        from repro.multilevel.mapping import MultiLevelMappingResult
+
+        function = function_from_dict(payload["function"])
+        design = Design(
+            function,
+            steps=tuple(payload.get("steps", ())),
+            extra_rows=payload.get("extra_rows", 0),
+            extra_columns=payload.get("extra_columns", 0),
+            multilevel=dict(payload.get("multilevel", {})) or None,
+            staged=bool(payload.get("multilevel")),
+        )
+        defect_map = defect_map_from_dict(payload["defect_map"])
+        effective_map = defect_map
+        if design.extra_columns > 0 and design.is_staged:
+            from repro.experiments.monte_carlo import repair_spare_columns
+
+            repaired = repair_spare_columns(
+                defect_map, design.stage_plan().num_columns
+            )
+            if repaired is not None:
+                effective_map = repaired
+        return cls(
+            design=design,
+            defect_map=defect_map,
+            effective_map=effective_map,
+            result=MultiLevelMappingResult.from_dict(payload["result"]),
+            algorithm=payload.get("algorithm", "hybrid"),
         )

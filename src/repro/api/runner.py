@@ -355,6 +355,7 @@ def _run_mapping_protocol(
 
     function = scenario.source.build(seed=scenario.seed)
     model = scenario.resolved_defect_model()
+    multilevel = scenario.multilevel_spec()
     rows: list[dict] = []
     used_workers = 1
     for extra_rows, extra_columns in scenario.redundancy:
@@ -382,6 +383,7 @@ def _run_mapping_protocol(
                 workers=workers,
                 chunk_size=chunk_size,
                 engine=engine,
+                multilevel=multilevel,
                 max_samples=scenario.samples,
             )
             monte_carlo = adaptive.monte_carlo
@@ -411,6 +413,7 @@ def _run_mapping_protocol(
                 workers=workers,
                 chunk_size=chunk_size,
                 engine=engine,
+                multilevel=multilevel,
             )
         used_workers = max(used_workers, monte_carlo.workers)
         row = {

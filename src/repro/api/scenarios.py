@@ -292,6 +292,18 @@ class Scenario:
                 raise ExperimentError(
                     f"tolerance must lie in (0, 0.5), got {self.tolerance}"
                 )
+        if "multilevel" in self.options:
+            if self.protocol != "mapping":
+                raise ExperimentError(
+                    "the multilevel option only applies to the mapping "
+                    f"protocol, not {self.protocol!r}"
+                )
+            from repro.multilevel import normalize_multilevel_spec
+
+            # Validate eagerly (typos fail at construction time) but keep
+            # the spec as declared — normalising inside options would
+            # change existing content hashes.
+            normalize_multilevel_spec(self.options["multilevel"])
 
     # ------------------------------------------------------------------
     # Convenience
@@ -299,6 +311,19 @@ class Scenario:
     def resolved_defect_model(self) -> DefectModel:
         """The defect model with the paper default filled in."""
         return resolve_defect_model(self.defect_model)
+
+    def multilevel_spec(self) -> dict | None:
+        """The normalized multi-level spec, or None for two-level runs.
+
+        Carried as ``options["multilevel"]`` so multi-level scenarios
+        flow through the existing mapping protocol — chunk planning,
+        result assembly and content hashing — unchanged.
+        """
+        if "multilevel" not in self.options:
+            return None
+        from repro.multilevel import normalize_multilevel_spec
+
+        return normalize_multilevel_spec(self.options["multilevel"])
 
     def with_overrides(
         self,
@@ -340,10 +365,14 @@ class Scenario:
             if self.tolerance is not None
             else f"{self.samples} samples"
         )
+        staging = ""
+        spec = self.multilevel_spec()
+        if spec is not None:
+            staging = f", multi-level ({spec['strategy']})"
         return (
             f"{self.name}: map {self.source.label()} with "
             f"{'/'.join(self.mappers)} under {model}, redundancy {levels}, "
-            f"{sampling}, seed {self.seed}"
+            f"{sampling}{staging}, seed {self.seed}"
         )
 
     # ------------------------------------------------------------------

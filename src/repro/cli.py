@@ -40,18 +40,25 @@ DEFAULT_STORE = ".repro/artifacts.jsonl"
 DEFAULT_CHECKPOINTS = ".repro/checkpoints"
 
 #: The experiment targets predeclared by the experiment modules.
-BUILTIN_TARGETS = ("table2", "sweep", "redundancy", "figure6")
+BUILTIN_TARGETS = ("table2", "sweep", "redundancy", "figure6", "tradeoff")
 
 
 def builtin_suites() -> dict[str, Callable[..., ScenarioSuite]]:
     """``{target: paper_suite factory}`` for the predeclared experiments."""
-    from repro.experiments import defect_sweep, figure6, redundancy, table2
+    from repro.experiments import (
+        defect_sweep,
+        figure6,
+        redundancy,
+        table2,
+        tradeoff,
+    )
 
     return {
         "table2": table2.paper_suite,
         "sweep": defect_sweep.paper_suite,
         "redundancy": redundancy.paper_suite,
         "figure6": figure6.paper_suite,
+        "tradeoff": tradeoff.paper_suite,
     }
 
 
@@ -59,8 +66,9 @@ def resolve_target(target: str) -> ScenarioSuite:
     """Resolve a ``run`` target into a suite.
 
     Accepted targets: a builtin experiment name (``table2``, ``sweep``,
-    ``redundancy``, ``figure6``), a path to a scenario/suite JSON file,
-    or the name of one scenario inside a builtin suite.
+    ``redundancy``, ``figure6``, ``tradeoff``), a path to a
+    scenario/suite JSON file, or the name of one scenario inside a
+    builtin suite.
     """
     factories = builtin_suites()
     if target in factories:
@@ -254,6 +262,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     redundancy_text = mode_option(
         args.redundancy, "0,0", "--redundancy", "yield"
     )
+    multilevel_strategy = mode_option(
+        args.multilevel, None, "--multilevel", "yield"
+    )
+    multilevel = (
+        {"strategy": multilevel_strategy} if multilevel_strategy else None
+    )
     target_yield = mode_option(
         args.target_yield, 0.9, "--target-yield", "spares"
     )
@@ -315,6 +329,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.what == "yield":
         redundancy = _parse_redundancy(redundancy_text)
         spec["redundancy"] = list(redundancy)
+        if multilevel is not None:
+            spec["multilevel"] = dict(multilevel)
     if args.what == "spares":
         spec.update(
             {
@@ -341,6 +357,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 engine=engine,
                 max_samples=max_samples,
+                multilevel=multilevel,
             )
             return {"kind": "adaptive_yield", "result": adaptive.to_dict()}
         if args.what == "curve":
@@ -622,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ROWS,COLS",
         help="spare lines for analyze yield (default: 0,0)",
+    )
+    analyze_parser.add_argument(
+        "--multilevel",
+        default=None,
+        metavar="STRATEGY",
+        help=(
+            "analyze yield of the staged multi-level realisation instead "
+            "of the two-level array, technology-mapped with this strategy "
+            "(two_level_nand, factored or best); spare rows are then "
+            "granted per stage bank"
+        ),
     )
     analyze_parser.add_argument(
         "--target-yield",

@@ -211,6 +211,25 @@ class DefectMap:
         ]
         return DefectMap(self._rows, len(columns), defects)
 
+    def restricted_to_rows(self, start: int, stop: int) -> "DefectMap":
+        """The map of the contiguous physical row bank ``[start, stop)``.
+
+        The multi-level pipeline partitions one physical array into
+        per-stage row banks sharing every vertical line; each stage is
+        mapped against its own bank, so the returned map renumbers the
+        kept rows 0…stop-start-1 and keeps all columns.
+        """
+        if not 0 <= start < stop <= self._rows:
+            raise DefectError(
+                f"row bank [{start}, {stop}) outside a map of {self._rows} rows"
+            )
+        defects = [
+            Defect(row - start, column, kind)
+            for (row, column), kind in self._defects.items()
+            if start <= row < stop
+        ]
+        return DefectMap(stop - start, self._columns, defects)
+
     def padded(self, extra_rows: int, extra_columns: int) -> "DefectMap":
         """A larger map with the same defects (for redundancy studies)."""
         if extra_rows < 0 or extra_columns < 0:

@@ -8,6 +8,8 @@
 * :mod:`repro.experiments.defect_sweep` and
   :mod:`repro.experiments.redundancy` — the future-work extensions
   (defect-rate sweep, redundancy/yield analysis);
+* :mod:`repro.experiments.tradeoff` — the two-level vs multi-level
+  area/yield trade-off study (per-stage defect-tolerant mapping);
 * :mod:`repro.experiments.monte_carlo` — the shared Monte-Carlo engine.
 """
 
@@ -50,6 +52,12 @@ from repro.experiments.table1 import (
     multi_level_cost_of,
     run_table1,
 )
+from repro.experiments.tradeoff import (
+    TRADEOFF_CIRCUITS,
+    TradeoffPoint,
+    TradeoffResult,
+    run_tradeoff,
+)
 from repro.experiments.table2 import (
     PAPER_TABLE2_RESULTS,
     Table2Result,
@@ -87,6 +95,10 @@ __all__ = [
     "run_redundancy_analysis",
     "RedundancyResult",
     "RedundancyPoint",
+    "run_tradeoff",
+    "TradeoffResult",
+    "TradeoffPoint",
+    "TRADEOFF_CIRCUITS",
     "format_table",
     "format_percent",
     "format_runtime",

@@ -154,6 +154,9 @@ class MonteCarloResult:
     #: ``sample_offset`` is misused.  ``None`` on legacy payloads whose
     #: provenance is unknown; merging such a result disables the check.
     sample_ranges: list[list[int]] | None = None
+    #: Normalized multi-level spec when the experiment mapped per stage
+    #: (None = the classic two-level protocol).
+    multilevel: dict | None = None
 
     def outcome(self, algorithm: str) -> AlgorithmOutcome:
         """Aggregated outcome of one algorithm."""
@@ -238,6 +241,11 @@ class MonteCarloResult:
                 f"cannot merge a {other.engine!r}-engine result into a "
                 f"{self.engine!r} one"
             )
+        if other.multilevel != self.multilevel:
+            raise ExperimentError(
+                f"cannot merge a result with multi-level spec "
+                f"{other.multilevel!r} into one with {self.multilevel!r}"
+            )
         if set(other.outcomes) != set(self.outcomes):
             raise ExperimentError(
                 f"cannot merge outcomes of {sorted(other.outcomes)} into "
@@ -292,6 +300,8 @@ class MonteCarloResult:
         }
         if self.sample_ranges is not None:
             payload["sample_ranges"] = [list(span) for span in self.sample_ranges]
+        if self.multilevel is not None:
+            payload["multilevel"] = dict(self.multilevel)
         return payload
 
     @classmethod
@@ -310,6 +320,7 @@ class MonteCarloResult:
                 if payload.get("sample_ranges") is not None
                 else None
             ),
+            multilevel=payload.get("multilevel"),
             outcomes={
                 name: AlgorithmOutcome.from_dict(entry)
                 for name, entry in payload["outcomes"].items()
@@ -338,10 +349,16 @@ class _ChunkTask:
     stop: int
     validate: bool
     engine: str = "vectorized"
+    #: Normalized multi-level spec, or None for the two-level protocol.
+    multilevel: dict | None = None
 
 
 def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
     """Map every sample of one chunk; pure function of the task."""
+    if task.multilevel is not None:
+        from repro.multilevel.monte_carlo import run_multilevel_chunk
+
+        return run_multilevel_chunk(task)
     if task.engine == "vectorized":
         return _run_chunk_vectorized(task)
     function_matrix = FunctionMatrix(task.function)
@@ -426,6 +443,7 @@ def run_mapping_monte_carlo(
     defect_model: DefectModel | str | dict | None = None,
     engine: str = "vectorized",
     sample_offset: int = 0,
+    multilevel: dict | None = None,
 ) -> MonteCarloResult:
     """Run the paper's Monte-Carlo mapping protocol on one function.
 
@@ -482,6 +500,17 @@ def run_mapping_monte_carlo(
         reproduces exactly that slice of a larger fixed-budget run —
         the property the adaptive sampler of :mod:`repro.analysis`
         builds on to grow an experiment without re-drawing any sample.
+    multilevel:
+        A multi-level spec dict (see
+        :func:`repro.multilevel.normalize_multilevel_spec`) switching
+        the protocol to per-stage mapping: the function is
+        technology-mapped into a NAND network, staged into per-level row
+        banks (:mod:`repro.multilevel`), and every sample's full array —
+        all banks plus shared spare columns — is mapped stage by stage,
+        a sample surviving only when *every* stage maps.  ``extra_rows``
+        then grants spare rows *per bank* and ``extra_columns`` spare
+        columns on the shared array.  The seed streams, engine contract
+        and worker invariance are identical to the two-level protocol.
     """
     if sample_size <= 0:
         raise ExperimentError("sample_size must be positive")
@@ -493,9 +522,21 @@ def run_mapping_monte_carlo(
         raise ExperimentError(
             f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
         )
-    function_matrix = FunctionMatrix(function)
-    rows = function_matrix.num_rows + extra_rows
-    columns = function_matrix.num_columns + extra_columns
+    if multilevel is not None:
+        # Normalize (and validate) eagerly, and build the stage plan once
+        # for sizing — workers rebuild it deterministically per chunk.
+        from repro.multilevel import normalize_multilevel_spec, stage_plan_for
+
+        multilevel = normalize_multilevel_spec(multilevel)
+        stage_plan = stage_plan_for(function, multilevel)
+        rows = stage_plan.physical_rows(extra_rows)
+        columns = stage_plan.num_columns + extra_columns
+        required_columns = stage_plan.num_columns
+    else:
+        function_matrix = FunctionMatrix(function)
+        rows = function_matrix.num_rows + extra_rows
+        columns = function_matrix.num_columns + extra_columns
+        required_columns = function_matrix.num_columns
     if defect_model is None:
         # Validates the rate/fraction values eagerly, like it always has.
         DefectProfile(rate=defect_rate, stuck_open_fraction=stuck_open_fraction)
@@ -522,13 +563,14 @@ def run_mapping_monte_carlo(
             model=model,
             rows=rows,
             columns=columns,
-            required_columns=function_matrix.num_columns,
+            required_columns=required_columns,
             mappers=mappers,
             seed=seed,
             start=sample_offset + chunk.start,
             stop=sample_offset + chunk.stop,
             validate=validate,
             engine=engine,
+            multilevel=multilevel,
         )
         for chunk in chunk_ranges(sample_size, plan.chunk_size)
     ]
@@ -542,6 +584,7 @@ def run_mapping_monte_carlo(
         defect_model=model.to_dict(),
         engine=engine,
         sample_ranges=[[sample_offset, sample_offset + sample_size]],
+        multilevel=multilevel,
     )
 
     start = time.perf_counter()

@@ -170,6 +170,7 @@ def map_sample_batch(
     sample_size: int | None = None,
     validate: bool = True,
     max_tensor_cells: int = MAX_TENSOR_CELLS,
+    batch: DefectBatch | None = None,
 ) -> BatchMapResult:
     """Map one chunk of the Monte-Carlo sample stream, vectorized.
 
@@ -184,7 +185,8 @@ def map_sample_batch(
     model:
         A defect model with the ``inject(rows, columns, seed=...)``
         protocol; every sample ``i`` is seeded ``derive_seed(seed, i)``
-        exactly like the reference engine.
+        exactly like the reference engine.  Ignored when ``batch`` is
+        given.
     rows / columns:
         Physical crossbar dimensions (optimum size plus redundancy).
     start / stop / sample_size:
@@ -195,6 +197,12 @@ def map_sample_batch(
         (mirrors the reference engine's flag).
     max_tensor_cells:
         Sub-batch cap on ``samples x rows x fm_rows`` cells.
+    batch:
+        A pre-built :class:`~repro.defects.batch.DefectBatch` covering
+        ``[start, stop)`` to map against instead of injecting one here.
+        The multi-level pipeline uses this to slice per-stage row banks
+        out of one shared full-array tensor; the caller is responsible
+        for any spare-column repair having already happened.
     """
     if stop is None:
         if sample_size is None:
@@ -207,15 +215,21 @@ def map_sample_batch(
     count = stop - start
 
     shared_start = time.perf_counter()
-    batch = DefectBatch.generate(
-        model,
-        rows,
-        columns,
-        seed=seed,
-        start=start,
-        stop=stop,
-        required_columns=fm.num_columns,
-    )
+    if batch is None:
+        batch = DefectBatch.generate(
+            model,
+            rows,
+            columns,
+            seed=seed,
+            start=start,
+            stop=stop,
+            required_columns=fm.num_columns,
+        )
+    elif (batch.stop - batch.start) != count:
+        raise MappingError(
+            f"pre-built batch covers {batch.stop - batch.start} samples, "
+            f"expected {count}"
+        )
 
     outcomes = {
         name: MapperBatchOutcome(

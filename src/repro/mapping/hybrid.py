@@ -93,18 +93,25 @@ class HybridMapper:
                 statistics=statistics,
             )
 
-        costs = matching_matrix(
-            fm, cm, fm_row_indices=output_indices, cm_row_indices=unmatched_rows
-        )
-        statistics.matching_matrix_entries += int(costs.size)
-        statistics.assignment_size = tuple(costs.shape)
-        assignment = zero_cost_assignment(costs, backend=self._assignment_backend)
-        if assignment is None:
-            return self._failure(
-                "Munkres found no zero-cost assignment for the output rows",
-                start,
-                statistics=statistics,
+        if output_indices:
+            costs = matching_matrix(
+                fm, cm, fm_row_indices=output_indices, cm_row_indices=unmatched_rows
             )
+            statistics.matching_matrix_entries += int(costs.size)
+            statistics.assignment_size = tuple(costs.shape)
+            assignment = zero_cost_assignment(
+                costs, backend=self._assignment_backend
+            )
+            if assignment is None:
+                return self._failure(
+                    "Munkres found no zero-cost assignment for the output rows",
+                    start,
+                    statistics=statistics,
+                )
+        else:
+            # Output-free matrices (the multi-level gate stages) are fully
+            # settled by the minterm matcher; there is nothing to assign.
+            assignment = {}
 
         row_assignment = dict(minterm_outcome.assignment)
         for local_column, local_row in assignment.items():

@@ -1,0 +1,41 @@
+"""Multi-level pipeline subsystem: decompose → tech-map → per-stage mapping.
+
+The package stages a technology-mapped NAND network
+(:mod:`repro.synth`) realised as a multi-level crossbar
+(:mod:`repro.crossbar.multi_level`) into per-level row banks and runs
+the existing defect-tolerant mappers independently on each bank,
+reporting whole-network survival.  It plugs into the Monte-Carlo
+harness via the ``multilevel=`` spec of
+:func:`repro.experiments.monte_carlo.run_mapping_monte_carlo` and into
+the fluent API via ``Design.decompose().tech_map()``.
+"""
+
+from repro.multilevel.mapping import (
+    MultiLevelMappingResult,
+    StageMappingOutcome,
+    map_multilevel,
+)
+from repro.multilevel.monte_carlo import run_multilevel_chunk
+from repro.multilevel.staging import (
+    MULTILEVEL_SPEC_DEFAULTS,
+    MultiLevelStagePlan,
+    Stage,
+    StageMatrix,
+    build_stage_plan,
+    normalize_multilevel_spec,
+    stage_plan_for,
+)
+
+__all__ = [
+    "MULTILEVEL_SPEC_DEFAULTS",
+    "MultiLevelMappingResult",
+    "MultiLevelStagePlan",
+    "Stage",
+    "StageMappingOutcome",
+    "StageMatrix",
+    "build_stage_plan",
+    "map_multilevel",
+    "normalize_multilevel_spec",
+    "run_multilevel_chunk",
+    "stage_plan_for",
+]

@@ -162,6 +162,7 @@ def execute_chunk(job: ChunkJob) -> dict:
         workers=1,
         chunk_size=chunk.size,
         engine=job.engine,
+        multilevel=scenario.multilevel_spec(),
     )
     return {"protocol": "mapping", "monte_carlo": monte_carlo.to_dict()}
 

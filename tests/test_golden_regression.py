@@ -35,6 +35,8 @@ GOLDEN_SELECTION = {
     ("sweep", "misex1@0.1"): 10,
     ("redundancy", "rd53-redundancy"): 8,
     ("figure6", "figure6-n8"): 6,
+    ("tradeoff", "tradeoff-rd53-two-level"): 8,
+    ("tradeoff", "tradeoff-rd53-multi-level"): 8,
 }
 
 GOLDEN_SEED = 7
