@@ -1,10 +1,12 @@
-"""Packed vs object Boolean pipeline throughput at Fig. 6 scale.
+"""Packed/compiled vs object Boolean pipeline throughput at Fig. 6 scale.
 
 Runs the Fig. 6 front-end — random-function generation, two-level
 minimisation, area costing and end-to-end functional validation of the
-minimised two-level design — on both Boolean engines, verifies the
-results are bit-identical (covers, costs and validation verdicts), and
-reports the wall-clock speedup.  The acceptance bar for the packed
+minimised two-level design — on every Boolean engine tier (the object
+reference, the packed bitset kernels and, when a backend is available,
+the compiled merge passes), verifies the results are bit-identical
+(covers, costs and validation verdicts), and reports the wall-clock
+speedups over the object path.  The acceptance bar for the packed
 kernel is a >= 5x throughput gain at paper scale (input sizes 8..15,
 200 samples per size).
 
@@ -24,6 +26,7 @@ from repro.api.seeding import derive_seed
 from repro.boolean.function import BooleanFunction
 from repro.boolean.minimize import minimize_cover
 from repro.boolean.random_functions import random_single_output_function
+from repro.compiled import compiled_available, compiled_backend
 from repro.crossbar.simulator import verify_layout
 from repro.crossbar.two_level import (
     TwoLevelDesign,
@@ -33,7 +36,11 @@ from repro.crossbar.two_level import (
 from repro.experiments.figure6 import Figure6Config
 
 #: Engine name → (boolean engine, simulator engine) per pipeline stage.
-ENGINE_STAGES = {"packed": ("packed", "batch"), "object": ("object", "object")}
+ENGINE_STAGES = {
+    "compiled": ("compiled", "batch"),
+    "packed": ("packed", "batch"),
+    "object": ("object", "object"),
+}
 
 
 def run_pipeline(
@@ -71,61 +78,84 @@ def collect(
     *, sizes=(8, 10, 12, 15), samples=50, seed=7, verbose=True
 ) -> dict:
     """Run the benchmark and return machine-readable metrics."""
+    engines = ["object", "packed"]
+    if compiled_available():
+        engines.append("compiled")
     per_size = []
-    object_total = packed_total = 0.0
+    totals = dict.fromkeys(engines, 0.0)
     for num_inputs in sizes:
-        object_elapsed, object_results = run_pipeline(
-            num_inputs, samples, seed=seed, engine="object"
-        )
-        packed_elapsed, packed_results = run_pipeline(
-            num_inputs, samples, seed=seed, engine="packed"
-        )
-        if object_results != packed_results:
-            raise SystemExit(
-                f"FAIL: n={num_inputs}: packed and object pipelines disagree"
+        elapsed = {}
+        results = {}
+        for engine in engines:
+            elapsed[engine], results[engine] = run_pipeline(
+                num_inputs, samples, seed=seed, engine=engine
             )
+            totals[engine] += elapsed[engine]
+        for engine in engines[1:]:
+            if results[engine] != results["object"]:
+                raise SystemExit(
+                    f"FAIL: n={num_inputs}: {engine} and object pipelines "
+                    "disagree"
+                )
         # Cross-check: recompute every sample's area in one vectorized call.
         batched_areas = two_level_area_cost_batch(
-            num_inputs, 1, [len(cover) for cover, _, _ in packed_results]
+            num_inputs, 1, [len(cover) for cover, _, _ in results["packed"]]
         )
-        if [int(a) for a in batched_areas] != [a for _, a, _ in packed_results]:
+        if [int(a) for a in batched_areas] != [
+            a for _, a, _ in results["packed"]
+        ]:
             raise SystemExit(
                 f"FAIL: n={num_inputs}: batched area costs disagree"
             )
-        speedup = object_elapsed / packed_elapsed if packed_elapsed else 0.0
-        object_total += object_elapsed
-        packed_total += packed_elapsed
-        per_size.append(
-            {
-                "num_inputs": num_inputs,
-                "samples": samples,
-                "object_seconds": round(object_elapsed, 4),
-                "packed_seconds": round(packed_elapsed, 4),
-                "speedup": round(speedup, 2),
-            }
+        row = {"num_inputs": num_inputs, "samples": samples}
+        for engine in engines:
+            row[f"{engine}_seconds"] = round(elapsed[engine], 4)
+        row["speedup"] = round(
+            elapsed["object"] / elapsed["packed"] if elapsed["packed"] else 0.0,
+            2,
         )
-        if verbose:
-            print(
-                f"n={num_inputs:2d}: object {object_elapsed:7.2f} s | packed "
-                f"{packed_elapsed:7.2f} s | speedup {speedup:5.1f}x | "
-                "results identical"
+        if "compiled" in engines:
+            row["compiled_speedup"] = round(
+                elapsed["object"] / elapsed["compiled"]
+                if elapsed["compiled"]
+                else 0.0,
+                2,
             )
-    overall = object_total / packed_total if packed_total else 0.0
+        per_size.append(row)
+        if verbose:
+            timings = " | ".join(
+                f"{engine} {elapsed[engine]:7.2f} s" for engine in engines
+            )
+            print(
+                f"n={num_inputs:2d}: {timings} | packed speedup "
+                f"{row['speedup']:5.1f}x | results identical"
+            )
+    overall = totals["object"] / totals["packed"] if totals["packed"] else 0.0
     if verbose:
-        print(
-            f"overall: object {object_total:.2f} s | packed {packed_total:.2f} s "
-            f"| speedup {overall:.1f}x"
+        timings = " | ".join(
+            f"{engine} {totals[engine]:.2f} s" for engine in engines
         )
-    return {
+        print(f"overall: {timings} | packed speedup {overall:.1f}x")
+    metrics = {
         "benchmark": "boolean",
         "sizes": list(sizes),
         "samples": samples,
         "seed": seed,
+        "compiled_backend": compiled_backend(),
         "per_size": per_size,
-        "object_seconds": round(object_total, 4),
-        "packed_seconds": round(packed_total, 4),
+        "object_seconds": round(totals["object"], 4),
+        "packed_seconds": round(totals["packed"], 4),
         "speedup": round(overall, 2),
     }
+    if "compiled" in engines:
+        metrics["compiled_seconds"] = round(totals["compiled"], 4)
+        metrics["compiled_speedup"] = round(
+            totals["object"] / totals["compiled"]
+            if totals["compiled"]
+            else 0.0,
+            2,
+        )
+    return metrics
 
 
 def main() -> None:

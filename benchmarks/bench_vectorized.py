@@ -1,11 +1,13 @@
-"""Throughput of the vectorized Monte-Carlo engine vs the reference path.
+"""Throughput of the batched Monte-Carlo engines vs the reference path.
 
 Runs the same Table II-sized Monte-Carlo mapping experiment on the
-reference object-per-sample engine and on the batched NumPy kernel,
-verifies the counting statistics are bit-identical, and reports the
-wall-clock speedup.  The acceptance bar for the vectorized engine is a
->= 3x throughput gain on a Table II-sized workload (one circuit, 200
-samples, 10 % uniform stuck-open defects, HBA + EA).
+reference object-per-sample engine, on the batched NumPy kernel and —
+when a backend (Numba or a C compiler) is available — on the compiled
+kernel tier, verifies the counting statistics are bit-identical across
+every engine, and reports the wall-clock speedups over the reference.
+The acceptance bar for the vectorized engine is a >= 3x throughput gain
+on a Table II-sized workload (one circuit, 200 samples, 10 % uniform
+stuck-open defects, HBA + EA); the compiled tier must beat vectorized.
 
 Standalone script so it can be pointed at any circuit / budget::
 
@@ -20,6 +22,7 @@ import argparse
 import time
 
 from repro.circuits import get_benchmark
+from repro.compiled import compiled_available, compiled_backend
 from repro.experiments.monte_carlo import run_mapping_monte_carlo
 
 
@@ -31,8 +34,8 @@ def _counting_stats(result):
 
 
 def bench_circuit(name: str, *, samples: int, defect_rate: float,
-                  algorithms: tuple, seed: int, workers: int) -> float:
-    """Benchmark one circuit; returns the vectorized/reference speedup."""
+                  algorithms: tuple, seed: int, workers: int) -> dict:
+    """Benchmark one circuit; returns per-engine speedups over reference."""
     function = get_benchmark(name)
     kwargs = dict(
         defect_rate=defect_rate,
@@ -42,29 +45,44 @@ def bench_circuit(name: str, *, samples: int, defect_rate: float,
         workers=workers,
     )
 
-    start = time.perf_counter()
-    reference = run_mapping_monte_carlo(function, engine="reference", **kwargs)
-    reference_elapsed = time.perf_counter() - start
-
-    start = time.perf_counter()
-    vectorized = run_mapping_monte_carlo(function, engine="vectorized", **kwargs)
-    vectorized_elapsed = time.perf_counter() - start
-
-    if _counting_stats(reference) != _counting_stats(vectorized):
-        raise SystemExit(
-            f"FAIL: {name}: counting statistics differ between engines"
+    engines = ["reference", "vectorized"]
+    if compiled_available():
+        engines.append("compiled")
+    elapsed = {}
+    results = {}
+    for engine in engines:
+        start = time.perf_counter()
+        results[engine] = run_mapping_monte_carlo(
+            function, engine=engine, **kwargs
         )
+        elapsed[engine] = time.perf_counter() - start
 
-    speedup = (
-        reference_elapsed / vectorized_elapsed if vectorized_elapsed > 0 else 0.0
+    baseline = _counting_stats(results["reference"])
+    for engine in engines[1:]:
+        if _counting_stats(results[engine]) != baseline:
+            raise SystemExit(
+                f"FAIL: {name}: counting statistics differ between "
+                f"reference and {engine}"
+            )
+
+    speedups = {
+        engine: (
+            elapsed["reference"] / elapsed[engine] if elapsed[engine] else 0.0
+        )
+        for engine in engines[1:]
+    }
+    success = results["reference"].outcome(algorithms[0]).success_rate
+    timings = " | ".join(
+        f"{engine} {elapsed[engine]:7.3f} s" for engine in engines
     )
-    success = reference.outcome(algorithms[0]).success_rate
+    gains = " | ".join(
+        f"{engine} {speedup:5.1f}x" for engine, speedup in speedups.items()
+    )
     print(
-        f"{name:10s}: reference {reference_elapsed:7.2f} s | vectorized "
-        f"{vectorized_elapsed:7.2f} s | speedup {speedup:5.1f}x | "
+        f"{name:10s}: {timings} | speedup {gains} | "
         f"Psucc[{algorithms[0]}] {success:.0%} | statistics identical"
     )
-    return speedup
+    return speedups
 
 
 def collect(
@@ -88,15 +106,30 @@ def collect(
         )
         for name in circuits
     }
-    return {
+    metrics = {
         "benchmark": "vectorized",
         "circuits": list(circuits),
         "samples": samples,
         "defect_rate": defect_rate,
         "seed": seed,
-        "per_circuit": {name: round(s, 2) for name, s in speedups.items()},
-        "speedup": round(sum(speedups.values()) / len(speedups), 2),
+        "compiled_backend": compiled_backend(),
+        "per_circuit": {
+            name: {engine: round(s, 2) for engine, s in gains.items()}
+            for name, gains in speedups.items()
+        },
+        "speedup": round(
+            sum(gains["vectorized"] for gains in speedups.values())
+            / len(speedups),
+            2,
+        ),
     }
+    if compiled_available():
+        metrics["compiled_speedup"] = round(
+            sum(gains["compiled"] for gains in speedups.values())
+            / len(speedups),
+            2,
+        )
+    return metrics
 
 
 def main() -> None:
@@ -134,8 +167,18 @@ def main() -> None:
         )
         for name in args.circuits
     ]
-    mean = sum(speedups) / len(speedups)
-    print(f"mean speedup: {mean:.1f}x over {len(speedups)} circuit(s)")
+    mean = sum(gains["vectorized"] for gains in speedups) / len(speedups)
+    print(f"mean vectorized speedup: {mean:.1f}x over {len(speedups)} circuit(s)")
+    if compiled_available():
+        compiled_mean = sum(
+            gains["compiled"] for gains in speedups
+        ) / len(speedups)
+        print(
+            f"mean compiled speedup:   {compiled_mean:.1f}x "
+            f"(backend: {compiled_backend()})"
+        )
+    else:
+        print("compiled tier: no backend available, skipped")
     if args.require is not None and mean < args.require:
         raise SystemExit(
             f"FAIL: mean speedup {mean:.1f}x below required {args.require}x"

@@ -46,8 +46,8 @@ from repro.api.defect_models import DefectModel
 from repro.boolean.function import BooleanFunction
 from repro.exceptions import ExperimentError
 from repro.experiments.monte_carlo import (
-    ENGINES,
     MonteCarloResult,
+    resolve_mapping_engine,
     run_mapping_monte_carlo,
 )
 
@@ -192,7 +192,7 @@ def run_adaptive_monte_carlo(
     validate: bool = True,
     workers: int | None = None,
     chunk_size: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     multilevel: dict | None = None,
     track: str | None = None,
     min_samples: int = DEFAULT_MIN_SAMPLES,
@@ -235,10 +235,7 @@ def run_adaptive_monte_carlo(
         raise ExperimentError(
             f"unknown CI method {method!r}; expected one of {list(CI_METHODS)}"
         )
-    if engine not in ENGINES:
-        raise ExperimentError(
-            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
-        )
+    engine = resolve_mapping_engine(engine)
     if initial_batch < 1:
         raise ExperimentError(
             f"initial_batch must be >= 1, got {initial_batch}"

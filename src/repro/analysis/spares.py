@@ -191,7 +191,7 @@ def optimize_spares(
     criterion: str = "point",
     seed: int = 0,
     workers: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     max_samples: int = DEFAULT_MAX_SAMPLES,
 ) -> SpareSearchResult:
     """Search spare allocations for minimum area meeting a yield target.

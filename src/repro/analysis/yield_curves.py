@@ -338,7 +338,7 @@ def compute_yield_curve(
     extra_columns: int = 0,
     seed: int = 0,
     workers: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     max_samples: int = DEFAULT_MAX_SAMPLES,
     naive_baseline: bool = True,
 ) -> YieldCurve:

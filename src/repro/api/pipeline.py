@@ -514,7 +514,7 @@ class Design:
         workers: int | None = None,
         chunk_size: int | None = None,
         defect_model: DefectModel | str | dict | None = None,
-        engine: str = "vectorized",
+        engine: str = "auto",
     ):
         """Run the Monte-Carlo protocol on this design (see
         :func:`repro.experiments.monte_carlo.run_mapping_monte_carlo`).
@@ -558,7 +558,7 @@ class Design:
         seed: int = 0,
         validate: bool = True,
         workers: int | None = None,
-        engine: str = "vectorized",
+        engine: str = "auto",
         max_samples: int = 100_000,
     ):
         """Estimate this design's yield to a target precision.

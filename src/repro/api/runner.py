@@ -229,7 +229,12 @@ class SuiteResult:
 # same determinism contract as the Monte-Carlo mapping engine.
 # ----------------------------------------------------------------------
 #: Pipeline engine → Boolean kernel engine for the area protocol.
-_AREA_BOOLEAN_ENGINES = {"vectorized": "packed", "reference": "object"}
+_AREA_BOOLEAN_ENGINES = {
+    "auto": "auto",
+    "compiled": "compiled",
+    "vectorized": "packed",
+    "reference": "object",
+}
 
 
 def _area_boolean_engine(engine: str) -> str:
@@ -433,7 +438,7 @@ def run_scenario(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     force: bool = False,
     store: ArtifactStore | None = None,
 ) -> ScenarioResult:
@@ -449,29 +454,25 @@ def run_scenario(
     chunk_size:
         Samples per chunk (default: auto).
     engine:
-        ``"vectorized"`` (default), ``"packed"`` (an alias for
-        ``"vectorized"``) or ``"reference"`` — the execution engine.
-        For ``"mapping"`` scenarios it selects the Monte-Carlo kernel;
-        for ``"area"`` scenarios it selects the Boolean bit-plane kernel
-        (``"vectorized"``/``"packed"``) or the object reference path.
-        Like ``workers``, the engine is never part of the cache key:
-        both engines produce identical counting statistics, so a cached
-        artifact is engine-agnostic.
+        ``"auto"`` (default), ``"compiled"``, ``"vectorized"``,
+        ``"packed"`` (an alias for ``"vectorized"``) or ``"reference"``
+        — the execution engine (see :mod:`repro.engines`).  A single
+        name fans out per protocol: for ``"mapping"`` scenarios it
+        selects the Monte-Carlo tier, for ``"area"`` scenarios the
+        matching Boolean kernel tier (``auto``→``auto``,
+        ``compiled``→``compiled``, ``vectorized``→``packed``,
+        ``reference``→``object``).  Like ``workers``, the engine is
+        never part of the cache key: every engine produces identical
+        counting statistics, so a cached artifact is engine-agnostic.
     force:
         Recompute even when the store already holds a complete artifact.
     store:
         Optional JSONL artifact store; result rows stream into it and
         matching content hashes short-circuit recomputation.
     """
-    from repro.experiments.monte_carlo import ENGINES
+    from repro.engines import canonical_engine
 
-    if engine == "packed":
-        engine = "vectorized"
-    if engine not in ENGINES:
-        raise ExperimentError(
-            f"unknown engine {engine!r}; expected one of "
-            f"{list(ENGINES) + ['packed']}"
-        )
+    engine = canonical_engine(engine)
     spec_hash = scenario.content_hash()
     if store is not None and not force:
         record = store.load(spec_hash)
@@ -523,7 +524,7 @@ def run_suite(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     force: bool = False,
     store: ArtifactStore | None = None,
     progress: Callable[[Scenario, ScenarioResult], None] | None = None,

@@ -37,18 +37,22 @@ from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube
 from repro.exceptions import BooleanFunctionError
 
-#: Engines the minimisers accept (``"auto"`` resolves per input count).
-BOOLEAN_ENGINES = ("auto", "packed", "object")
+#: Engines the minimisers accept (``"auto"`` resolves per input count
+#: and per machine).
+BOOLEAN_ENGINES = ("auto", "compiled", "packed", "object")
 
 
 def resolve_boolean_engine(engine: str, num_inputs: int) -> str:
-    """Resolve ``engine=`` into ``"packed"`` or ``"object"``.
+    """Resolve ``engine=`` into ``"compiled"``, ``"packed"`` or ``"object"``.
 
     ``"auto"`` selects the packed kernels whenever the input count fits
-    their truth-table budget (1..``PACKED_INPUT_LIMIT``); explicit
-    choices are validated but honoured as-is except that ``"packed"``
-    silently degrades to ``"object"`` outside the supported width, so
-    callers never have to special-case tiny or huge covers.
+    their truth-table budget (1..``PACKED_INPUT_LIMIT``) — upgraded to
+    ``"compiled"`` when a native backend is loadable
+    (:mod:`repro.compiled`); explicit choices are validated but
+    honoured as-is except that they degrade silently down the
+    ``compiled`` → ``packed`` → ``object`` order when the requested
+    tier is unavailable (no backend, unsupported width), so callers
+    never have to special-case machines or cover sizes.
     """
     if engine not in BOOLEAN_ENGINES:
         raise BooleanFunctionError(
@@ -59,7 +63,13 @@ def resolve_boolean_engine(engine: str, num_inputs: int) -> str:
 
     if not 1 <= num_inputs <= PACKED_INPUT_LIMIT:
         return "object"
-    return "object" if engine == "object" else "packed"
+    if engine == "object":
+        return "object"
+    if engine == "packed":
+        return "packed"
+    from repro.compiled import compiled_available
+
+    return "compiled" if compiled_available() else "packed"
 
 
 # ----------------------------------------------------------------------
@@ -78,10 +88,13 @@ def minimize_cover(
     """
     if cover.is_empty() or cover.has_full_dont_care():
         return cover.without_contained_cubes()
-    if resolve_boolean_engine(engine, cover.num_inputs) == "packed":
+    resolved = resolve_boolean_engine(engine, cover.num_inputs)
+    if resolved != "object":
         from repro.boolean.packed import minimize_cover_packed
 
-        return minimize_cover_packed(cover, max_passes=max_passes)
+        return minimize_cover_packed(
+            cover, max_passes=max_passes, compiled=resolved == "compiled"
+        )
 
     current = cover.without_contained_cubes()
     for _ in range(max_passes):
@@ -208,7 +221,7 @@ def quine_mccluskey(
             "quine_mccluskey is limited to 20 inputs; use minimize_cover instead"
         )
 
-    if resolve_boolean_engine(engine, num_inputs) == "packed":
+    if resolve_boolean_engine(engine, num_inputs) != "object":
         from repro.boolean.packed import (
             prime_coverage_packed,
             prime_implicants_packed,

@@ -579,14 +579,26 @@ def _dedupe_values(values: np.ndarray) -> np.ndarray:
     return values[kept]
 
 
-def _merge_distance_one_values(values: np.ndarray) -> np.ndarray:
+def _merge_distance_one_values(
+    values: np.ndarray, *, compiled: bool = False
+) -> np.ndarray:
     """Replica of :func:`repro.boolean.minimize.merge_distance_one`.
 
     Walks the exact same ``(i, j)`` schedule as the object pass —
     including re-testing the remaining ``j`` whenever a merge enlarges
     the working cube — but answers each merge/containment probe with one
-    vectorized row comparison against all remaining candidates.
+    vectorized row comparison against all remaining candidates.  With
+    ``compiled=True`` the whole pass runs in one native call through
+    :mod:`repro.compiled` (same schedule, same result); when no backend
+    is loadable the NumPy walk below transparently takes over.
     """
+    if compiled:
+        from repro.compiled import get_kernels
+
+        kernels = get_kernels()
+        if kernels is not None:
+            merged_values = kernels.merge_distance_one(values)
+            return _without_contained_values(_dedupe_values(merged_values))
     rows = [values[i].copy() for i in range(values.shape[0])]
     changed = True
     while changed:
@@ -724,19 +736,24 @@ def _irredundant_values(values: np.ndarray, num_inputs: int) -> np.ndarray:
     return ordered[kept]
 
 
-def merge_distance_one_packed(cover: Cover) -> Cover:
+def merge_distance_one_packed(cover: Cover, *, compiled: bool = False) -> Cover:
     """Packed drop-in for :func:`repro.boolean.minimize.merge_distance_one`."""
     packed = PackedCover.from_cover(cover)
     return PackedCover(
-        packed.num_inputs, _merge_distance_one_values(packed.values)
+        packed.num_inputs,
+        _merge_distance_one_values(packed.values, compiled=compiled),
     ).to_cover()
 
 
-def minimize_cover_packed(cover: Cover, *, max_passes: int = 4) -> Cover:
+def minimize_cover_packed(
+    cover: Cover, *, max_passes: int = 4, compiled: bool = False
+) -> Cover:
     """Packed engine of :func:`repro.boolean.minimize.minimize_cover`.
 
     Cube-for-cube identical to the object path: every pass replicates the
     object schedule and answers its semantic probes with bitset kernels.
+    ``compiled=True`` (the ``engine="compiled"`` tier) additionally runs
+    each merge pass through the native kernel of :mod:`repro.compiled`.
     """
     if cover.is_empty() or cover.has_full_dont_care():
         return cover.without_contained_cubes()
@@ -745,7 +762,7 @@ def minimize_cover_packed(cover: Cover, *, max_passes: int = 4) -> Cover:
         _values_from_cubes(num_inputs, cover.cubes)
     )
     for _ in range(max_passes):
-        merged = _merge_distance_one_values(current)
+        merged = _merge_distance_one_values(current, compiled=compiled)
         expanded = _expand_values(merged, num_inputs)
         irredundant = _irredundant_values(expanded, num_inputs)
         if {row.tobytes() for row in irredundant} == {

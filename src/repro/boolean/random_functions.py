@@ -99,10 +99,13 @@ def random_cover(
     # Light clean-up: drop contained cubes and merge trivially mergeable
     # pairs, mirroring the fact that the paper feeds *functions*, not raw
     # redundant cube lists, into the cost comparison.
-    if resolve_boolean_engine(engine, spec.num_inputs) == "packed":
+    resolved = resolve_boolean_engine(engine, spec.num_inputs)
+    if resolved != "object":
         from repro.boolean.packed import merge_distance_one_packed
 
-        return merge_distance_one_packed(cover.without_contained_cubes())
+        return merge_distance_one_packed(
+            cover.without_contained_cubes(), compiled=resolved == "compiled"
+        )
     return merge_distance_one(cover.without_contained_cubes())
 
 

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.api.artifacts import ArtifactStore
 from repro.api.scenarios import Scenario, ScenarioSuite
+from repro.engines import ENGINE_CHOICES, canonical_engine
 from repro.exceptions import ExperimentError, ReproError
 
 #: Default artifact-store location when ``--jsonl`` is not given.
@@ -159,7 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = run_suite(
         suite,
         workers=args.workers,
-        engine=args.engine,
+        engine=canonical_engine(args.engine),
         force=args.force,
         store=store,
         progress=progress,
@@ -241,7 +242,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.what == "spares":
         # The spare search races a single mapper.
         algorithms = algorithms[:1]
-    engine = "vectorized" if args.engine == "packed" else args.engine
+    engine = canonical_engine(args.engine)
     tolerance = args.tolerance
     if args.what == "yield" and tolerance is None:
         tolerance = 0.01  # yield mode is always adaptive
@@ -447,7 +448,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoints=CheckpointStore(args.checkpoints or DEFAULT_CHECKPOINTS),
         artifacts=ArtifactStore(args.jsonl or DEFAULT_STORE),
         workers=args.workers,
-        engine=args.engine,
+        engine=canonical_engine(args.engine),
         chunk_size=args.chunk_size,
         verbose=args.verbose,
     )
@@ -500,12 +501,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("vectorized", "packed", "reference"),
-        default="vectorized",
+        choices=ENGINE_CHOICES,
+        default="auto",
         help=(
-            "execution engine: the batched NumPy kernels (default; "
-            "'packed' is an alias naming the bit-packed Boolean kernel "
-            "the area protocol uses) or the per-sample object path; all "
+            "execution engine: 'auto' (default) picks the fastest "
+            "available tier (compiled native kernels when a backend is "
+            "present, the batched NumPy kernels otherwise); 'compiled', "
+            "'vectorized' ('packed' is an alias naming the bit-packed "
+            "Boolean kernel the area protocol uses) and the per-sample "
+            "'reference' object path select a tier explicitly; all "
             "choices produce identical counting statistics"
         ),
     )
@@ -707,8 +711,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze_parser.add_argument(
         "--engine",
-        choices=("vectorized", "packed", "reference"),
-        default="vectorized",
+        choices=ENGINE_CHOICES,
+        default="auto",
         help="execution engine (identical statistics, different speed)",
     )
     analyze_parser.add_argument(
@@ -760,9 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--engine",
-        choices=("vectorized", "packed", "reference"),
-        default="vectorized",
-        help="execution engine for chunk jobs (identical statistics)",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help=(
+            "execution engine for chunk jobs (identical statistics; "
+            "'auto' resolves per executing machine and cross-engine "
+            "checkpoints merge)"
+        ),
     )
     serve_parser.add_argument(
         "--chunk-size",

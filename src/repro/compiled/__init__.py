@@ -1,0 +1,115 @@
+"""Optional compiled backends for the two hot kernels.
+
+The vectorized NumPy engines (``repro.mapping.batch_kernel`` and
+``repro.boolean.packed``) still fall back to per-sample / per-cube
+Python loops for the work their counting pre-screens cannot decide.
+This package compiles exactly those loops:
+
+* the built-in mapper replicas (exact saturating matching, greedy /
+  hybrid first-fit with one-step backtracking) over the shared
+  compatibility tensor, batched across all undecided samples in one
+  native call;
+* the distance-1 cube-merge pass of the packed Boolean minimiser.
+
+Two interchangeable backends implement the same kernel contract:
+
+``"numba"``
+    :mod:`repro.compiled._kernels_py` jitted with Numba, used whenever
+    ``numba`` is importable.
+``"cext"``
+    :mod:`repro.compiled._kernels.c` built once with the system C
+    compiler into a cached shared library and driven through
+    :mod:`ctypes` (no build-time dependency beyond ``cc``).
+
+When neither is available the compiled tier is simply *absent*:
+:func:`compiled_available` returns ``False`` and
+``repro.engines.resolve_mapping_engine`` degrades ``"compiled"`` /
+``"auto"`` to the NumPy tier without error.  All backends are held to
+the same sample-for-sample differential contract as the NumPy engines
+(``tests/test_compiled_engine.py``), so counting statistics never
+depend on which backend — if any — is present.
+
+The probe can be steered with the ``REPRO_COMPILED`` environment
+variable: ``off`` (also ``0`` / ``false`` / ``none`` / ``disabled``)
+hides the tier entirely, ``numba`` / ``cext`` restricts the probe to
+one backend, anything else (including unset) probes Numba first, then
+the C extension.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "compiled_available",
+    "compiled_backend",
+    "get_kernels",
+    "reset_compiled_backend",
+]
+
+_UNSET = object()
+
+#: Cached probe result: ``(backend name or None, kernels or None)``.
+_BACKEND = _UNSET
+
+
+def _probe():
+    """Detect the fastest available backend (numba, then the C ext)."""
+    choice = os.environ.get("REPRO_COMPILED", "auto").strip().lower() or "auto"
+    if choice in ("off", "0", "false", "none", "disabled"):
+        return None, None
+    if choice in ("auto", "numba"):
+        try:
+            from repro.compiled import numba_backend
+
+            return "numba", numba_backend.kernels()
+        except Exception:
+            if choice == "numba":
+                return None, None
+    if choice in ("auto", "cext"):
+        try:
+            from repro.compiled import cext
+
+            return "cext", cext.kernels()
+        except Exception:
+            pass
+    return None, None
+
+
+def _ensure():
+    global _BACKEND
+    if _BACKEND is _UNSET:
+        _BACKEND = _probe()
+    return _BACKEND
+
+
+def compiled_backend() -> str | None:
+    """Name of the active backend (``"numba"`` / ``"cext"``) or ``None``."""
+    return _ensure()[0]
+
+
+def compiled_available() -> bool:
+    """Whether the ``engine="compiled"`` tier can actually run here."""
+    return _ensure()[0] is not None
+
+
+def get_kernels():
+    """The loaded kernel object, or ``None`` when no backend is usable.
+
+    The object exposes ``backend`` (name), ``map_builtin_batch(compat,
+    closed, num_minterms, kind=..., check_validity=...)`` and
+    ``merge_distance_one(values)`` — see the backend modules for the
+    exact array contracts.
+    """
+    return _ensure()[1]
+
+
+def reset_compiled_backend() -> None:
+    """Forget the probed backend so the next call re-detects.
+
+    Tests use this together with monkeypatched ``_probe`` /
+    ``REPRO_COMPILED`` to simulate machines without any compiled
+    backend.
+    """
+    global _BACKEND
+    _BACKEND = _UNSET

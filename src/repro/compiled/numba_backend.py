@@ -1,0 +1,61 @@
+"""The ``"numba"`` backend: the portable kernels, jitted.
+
+Importing this module raises ``ImportError`` when ``numba`` is not
+installed — the probe in :mod:`repro.compiled` then falls through to
+the C-extension backend.  When it is installed,
+:mod:`repro.compiled._kernels_py` has already ``@njit``-ed its
+functions, so this module is a thin facade adapting them to the shared
+kernel contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled import _kernels_py
+
+if not _kernels_py.NUMBA_AVAILABLE:
+    raise ImportError("numba is not importable; numba backend unavailable")
+
+#: Mapper kind → the MODE_* constant of the kernel module.
+_MODES = {
+    "exact": _kernels_py.MODE_EXACT,
+    "greedy": _kernels_py.MODE_GREEDY,
+    "hybrid": _kernels_py.MODE_HYBRID,
+}
+
+
+class NumbaKernels:
+    """Jitted-kernel facade implementing the shared kernel contract."""
+
+    backend = "numba"
+
+    def map_builtin_batch(self, compat, closed, num_minterms, *, kind,
+                          check_validity):
+        compat = np.ascontiguousarray(compat, dtype=np.uint8)
+        closed = np.ascontiguousarray(closed, dtype=np.uint8)
+        return _kernels_py.map_builtin_batch(
+            compat, closed, num_minterms, _MODES[kind],
+            1 if check_validity else 0,
+        )
+
+    def merge_distance_one(self, values):
+        return _kernels_py.merge_distance_one(
+            np.ascontiguousarray(values, dtype=np.uint8)
+        )
+
+
+def kernels() -> NumbaKernels:
+    """Instantiate and warm up the backend (compile failures surface here)."""
+    backend = NumbaKernels()
+    compat = np.ones((1, 1, 1), dtype=np.uint8)
+    closed = np.zeros((1, 1), dtype=np.uint8)
+    success, backtracks, _ = backend.map_builtin_batch(
+        compat, closed, 1, kind="hybrid", check_validity=True
+    )
+    assert int(success[0]) == 1 and int(backtracks[0]) == 0
+    merged = backend.merge_distance_one(
+        np.array([[0, 1], [1, 1]], dtype=np.uint8)
+    )
+    assert merged.shape == (1, 2)
+    return backend

@@ -1,0 +1,72 @@
+"""Shared execution-engine names, aliasing and ``auto`` resolution.
+
+Engine spellings used to be normalized ad hoc at each entry point (the
+``"packed"`` alias was rewritten in one CLI subcommand, the runner and
+the service orchestrator separately — and rejected elsewhere).  This
+module is the single place every layer goes through:
+
+* :func:`canonical_engine` folds aliases and rejects unknown names
+  with a registry-style error listing the valid choices;
+* :func:`resolve_mapping_engine` additionally resolves ``"auto"`` (and
+  an explicitly requested but unavailable ``"compiled"``) to the
+  fastest tier this machine can actually run, mirroring the Boolean
+  side's :func:`repro.boolean.minimize.resolve_boolean_engine`.
+
+The fallback order is ``compiled`` → ``vectorized`` → ``reference``:
+``auto`` picks the compiled tier whenever a backend loaded
+(:mod:`repro.compiled`), the NumPy tier otherwise; ``reference`` is
+only ever selected explicitly.  Because all tiers are differentially
+tested to identical counting statistics, resolution may differ from
+machine to machine without affecting any result — which is also why
+engines are never part of artifact cache keys.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExperimentError
+
+#: Canonical engine names accepted by the mapping pipeline
+#: (``"auto"`` resolves per machine at run time).
+MAPPING_ENGINES = ("auto", "compiled", "vectorized", "reference")
+
+#: Accepted alternate spellings.  ``"packed"`` selects the batched
+#: kernels of whichever protocol runs, i.e. the ``vectorized`` tier.
+ENGINE_ALIASES = {"packed": "vectorized"}
+
+#: Every accepted spelling — canonical names plus aliases — for CLI
+#: ``choices=`` lists and error messages.
+ENGINE_CHOICES = ("auto", "compiled", "vectorized", "packed", "reference")
+
+
+def canonical_engine(engine: str) -> str:
+    """Fold aliases and validate; returns a :data:`MAPPING_ENGINES` name.
+
+    Raises :class:`~repro.exceptions.ExperimentError` naming the valid
+    choices for anything unknown, like the mapper / defect-model
+    registries do.
+    """
+    name = ENGINE_ALIASES.get(engine, engine)
+    if name not in MAPPING_ENGINES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{list(ENGINE_CHOICES)}"
+        )
+    return name
+
+
+def resolve_mapping_engine(engine: str) -> str:
+    """Resolve ``engine=`` into a concrete, runnable mapping engine.
+
+    ``"auto"`` picks the compiled tier when a backend is available and
+    the NumPy tier otherwise; an explicit ``"compiled"`` likewise
+    degrades silently to ``"vectorized"`` on machines without any
+    backend (matching how the Boolean ``"packed"`` engine degrades to
+    ``"object"`` outside its supported width), so campaigns never fail
+    over an optional dependency.
+    """
+    name = canonical_engine(engine)
+    if name in ("auto", "compiled"):
+        from repro import compiled
+
+        return "compiled" if compiled.compiled_available() else "vectorized"
+    return name

@@ -208,7 +208,7 @@ def run_figure6(
     config: Figure6Config | None = None,
     *,
     workers: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
 ) -> Figure6Result:
     """Regenerate Fig. 6 for the configured input sizes.
 

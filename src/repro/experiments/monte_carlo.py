@@ -52,14 +52,26 @@ from repro.api.seeding import derive_seed
 from repro.boolean.function import BooleanFunction
 from repro.defects.batch import repair_spare_columns
 from repro.defects.types import DefectProfile
+from repro.engines import (
+    MAPPING_ENGINES,
+    canonical_engine,
+    resolve_mapping_engine,
+)
 from repro.exceptions import ExperimentError
 from repro.mapping.batch_kernel import map_sample_batch
 from repro.mapping.crossbar_matrix import CrossbarMatrix
 from repro.mapping.function_matrix import FunctionMatrix
 from repro.mapping.validate import validate_assignment
 
-#: Engines a Monte-Carlo chunk can run on.
-ENGINES = ("vectorized", "reference")
+#: Concrete engines a Monte-Carlo chunk can run on (``"auto"`` has
+#: already been resolved by the time a chunk task is built; see
+#: :mod:`repro.engines`).
+ENGINES = ("compiled", "vectorized", "reference")
+
+#: Engines sharing the batched tensor pipeline (the compiled tier is
+#: the vectorized pipeline with native replicas for the undecided
+#: remainder).
+_BATCHED_ENGINES = ("compiled", "vectorized")
 
 #: Floor on the auto chunk size under the vectorized engine: batched
 #: tensor passes need a minimum chunk to amortise, and tiny chunks would
@@ -68,9 +80,12 @@ VECTORIZED_MIN_CHUNK = 32
 
 __all__ = [
     "ENGINES",
+    "MAPPING_ENGINES",
     "AlgorithmOutcome",
     "MonteCarloResult",
+    "canonical_engine",
     "repair_spare_columns",
+    "resolve_mapping_engine",
     "run_mapping_monte_carlo",
 ]
 
@@ -225,7 +240,13 @@ class MonteCarloResult:
         exactly the result a single fixed-budget run over the union
         would have produced (the per-sample seed streams depend only on
         the global index).  Both results must describe the same
-        experiment — function, defect model and engine.
+        *statistics contract* — function, defect model, multi-level
+        spec, outcome set and disjoint sample ranges.  The engine is
+        deliberately **not** part of that contract: counting statistics
+        are engine-invariant, so partial results computed on different
+        engines (e.g. a checkpointed campaign resumed on a machine
+        where ``"auto"`` resolves differently) merge fine; the merged
+        provenance records ``engine="mixed"``.
         """
         if other.function_name != self.function_name:
             raise ExperimentError(
@@ -235,11 +256,6 @@ class MonteCarloResult:
         if other.defect_model != self.defect_model:
             raise ExperimentError(
                 "cannot merge results with different defect models"
-            )
-        if other.engine != self.engine:
-            raise ExperimentError(
-                f"cannot merge a {other.engine!r}-engine result into a "
-                f"{self.engine!r} one"
             )
         if other.multilevel != self.multilevel:
             raise ExperimentError(
@@ -274,6 +290,8 @@ class MonteCarloResult:
             )
         else:
             self.sample_ranges = None
+        if other.engine != self.engine:
+            self.engine = "mixed"
         for name, outcome in other.outcomes.items():
             self.outcomes[name].merge(outcome)
         self.sample_size += other.sample_size
@@ -359,7 +377,7 @@ def _run_chunk(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
         from repro.multilevel.monte_carlo import run_multilevel_chunk
 
         return run_multilevel_chunk(task)
-    if task.engine == "vectorized":
+    if task.engine in _BATCHED_ENGINES:
         return _run_chunk_vectorized(task)
     function_matrix = FunctionMatrix(task.function)
     mappers = task.mappers
@@ -411,6 +429,7 @@ def _run_chunk_vectorized(task: _ChunkTask) -> dict[str, AlgorithmOutcome]:
         start=task.start,
         stop=task.stop,
         validate=task.validate,
+        engine=task.engine,
     )
     shared_share = result.shared_seconds / max(1, len(task.mappers))
     outcomes = {}
@@ -441,7 +460,7 @@ def run_mapping_monte_carlo(
     workers: int | None = None,
     chunk_size: int | None = None,
     defect_model: DefectModel | str | dict | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     sample_offset: int = 0,
     multilevel: dict | None = None,
 ) -> MonteCarloResult:
@@ -488,11 +507,15 @@ def run_mapping_monte_carlo(
         vectorized engine additionally floors the auto size so batched
         passes stay amortised).
     engine:
-        ``"vectorized"`` (default) runs each chunk on the batched NumPy
-        kernel of :mod:`repro.mapping.batch_kernel`; ``"reference"``
-        runs the original object-per-sample loop.  The two engines are
-        differentially tested to produce identical counting statistics
-        sample-for-sample; only wall-clock fields differ.
+        ``"auto"`` (default) resolves to the fastest available tier —
+        ``"compiled"`` (native replicas via :mod:`repro.compiled`,
+        when a backend is available) falling back to ``"vectorized"``
+        (the batched NumPy kernel of :mod:`repro.mapping.batch_kernel`).
+        ``"reference"`` runs the original object-per-sample loop;
+        ``"packed"`` is accepted as an alias for ``"vectorized"``.  All
+        engines are differentially tested to produce identical counting
+        statistics sample-for-sample; only wall-clock fields differ.
+        The result records the engine that actually ran.
     sample_offset:
         First *global* sample index of this run (default 0).  Samples
         draw their defect maps from ``derive_seed(seed, index)`` of the
@@ -518,10 +541,7 @@ def run_mapping_monte_carlo(
         raise ExperimentError(
             f"sample_offset must be non-negative, got {sample_offset}"
         )
-    if engine not in ENGINES:
-        raise ExperimentError(
-            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
-        )
+    engine = resolve_mapping_engine(engine)
     if multilevel is not None:
         # Normalize (and validate) eagerly, and build the stage plan once
         # for sizing — workers rebuild it deterministically per chunk.
@@ -555,7 +575,7 @@ def run_mapping_monte_carlo(
     runner = BatchRunner(workers)
     # Batched passes amortise over chunk size, so the vectorized engine
     # floors the auto chunk size; explicit chunk_size always wins.
-    min_chunk = VECTORIZED_MIN_CHUNK if engine == "vectorized" else 1
+    min_chunk = VECTORIZED_MIN_CHUNK if engine in _BATCHED_ENGINES else 1
     plan = runner.plan(sample_size, chunk_size, min_chunk_size=min_chunk)
     tasks = [
         _ChunkTask(

@@ -79,6 +79,10 @@ DECISION_REJECT = -1  #: counting pre-screen proved failure
 DECISION_ACCEPT = 1  #: counting pre-screen proved success
 DECISION_KERNEL = 2  #: NumPy replica of the built-in algorithm ran
 DECISION_OBJECT = 3  #: per-sample object-path fallback (opaque mapper)
+DECISION_COMPILED = 4  #: native replica batch (``engine="compiled"``)
+
+#: Engines this module can run a batch on.
+BATCH_ENGINES = ("vectorized", "compiled")
 
 #: Upper bound on compatibility-tensor cells per sub-batch (keeps the
 #: broadcasted pass cache- and memory-friendly for the largest circuits).
@@ -171,6 +175,7 @@ def map_sample_batch(
     validate: bool = True,
     max_tensor_cells: int = MAX_TENSOR_CELLS,
     batch: DefectBatch | None = None,
+    engine: str = "vectorized",
 ) -> BatchMapResult:
     """Map one chunk of the Monte-Carlo sample stream, vectorized.
 
@@ -203,7 +208,19 @@ def map_sample_batch(
         The multi-level pipeline uses this to slice per-stage row banks
         out of one shared full-array tensor; the caller is responsible
         for any spare-column repair having already happened.
+    engine:
+        ``"vectorized"`` (default) settles undecided samples with the
+        NumPy replicas below; ``"compiled"`` batches them through the
+        native kernels of :mod:`repro.compiled` instead (one call per
+        mapper per sub-batch).  Identical counting statistics either
+        way; when no compiled backend is loadable in this process the
+        NumPy replicas transparently take over.
     """
+    if engine not in BATCH_ENGINES:
+        raise MappingError(
+            f"unknown batch engine {engine!r}; expected one of "
+            f"{list(BATCH_ENGINES)}"
+        )
     if stop is None:
         if sample_size is None:
             raise MappingError("map_sample_batch needs stop= or sample_size=")
@@ -271,6 +288,12 @@ def map_sample_batch(
 
     shared_seconds = time.perf_counter() - shared_start
 
+    kernels = None
+    if engine == "compiled":
+        from repro.compiled import get_kernels
+
+        kernels = get_kernels()
+
     if builtin:
         shared_seconds += _run_builtin_mappers(
             fm,
@@ -282,6 +305,7 @@ def map_sample_batch(
             structurally_ok,
             validate=validate,
             max_tensor_cells=max_tensor_cells,
+            kernels=kernels,
         )
     if opaque:
         _run_object_fallback(
@@ -313,8 +337,14 @@ def _run_builtin_mappers(
     *,
     validate: bool,
     max_tensor_cells: int,
+    kernels=None,
 ) -> float:
-    """Pre-screen and map all built-in mappers; returns shared stage time."""
+    """Pre-screen and map all built-in mappers; returns shared stage time.
+
+    ``kernels`` is the loaded :mod:`repro.compiled` backend (or
+    ``None``): when given, every mapper's undecided samples are settled
+    by one native batch call instead of the per-sample NumPy replicas.
+    """
     num_minterms = fm.num_minterm_rows
     num_rows_needed = fm.num_rows
     # Guaranteed backtrack-free first-fit: minterm row i always finds a
@@ -364,6 +394,37 @@ def _run_builtin_mappers(
             outcome.decision[idx[reject]] = DECISION_REJECT
 
             undecided = np.flatnonzero(~accept & ~reject)
+            if kernels is not None and undecided.size:
+                kernel_start = time.perf_counter()
+                # (U, F, H) row-contiguous per FM row, like the
+                # replicas' compat_rows view — one native call settles
+                # every undecided sample of this mapper.
+                sub_compat = np.ascontiguousarray(
+                    np.transpose(compat[undecided], (0, 2, 1)),
+                    dtype=np.uint8,
+                )
+                closed = batch.closed_rows[idx[undecided]]
+                success, backtracks, valid = kernels.map_builtin_batch(
+                    sub_compat,
+                    closed,
+                    num_minterms,
+                    kind=kind,
+                    check_validity=validate,
+                )
+                offsets = idx[undecided]
+                succeeded = success.astype(bool)
+                outcome.backtracks[offsets] = backtracks
+                if validate:
+                    invalid = succeeded & ~valid.astype(bool)
+                    outcome.invalid[offsets[invalid]] = True
+                    outcome.success[offsets] = succeeded & ~invalid
+                else:
+                    outcome.success[offsets] = succeeded
+                outcome.decision[offsets] = DECISION_COMPILED
+                outcome.runtime[offsets] += (
+                    time.perf_counter() - kernel_start
+                ) / undecided.size
+                continue
             for k in undecided:
                 offset = int(idx[k])
                 sample_start = time.perf_counter()

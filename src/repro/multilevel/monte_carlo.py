@@ -49,7 +49,7 @@ def run_multilevel_chunk(task) -> dict[str, AlgorithmOutcome]:
     """
     plan = stage_plan_for(task.function, task.multilevel)
     extra_rows = plan.extra_rows_for(task.rows)
-    if task.engine == "vectorized":
+    if task.engine in ("vectorized", "compiled"):
         return _run_chunk_vectorized(task, plan, extra_rows)
     return _run_chunk_reference(task, plan, extra_rows)
 
@@ -167,6 +167,7 @@ def _run_chunk_vectorized(
             stop=task.stop,
             validate=task.validate,
             batch=sub,
+            engine=task.engine,
         )
         shared_seconds += result.shared_seconds
         for name, stage_outcome in result.outcomes.items():

@@ -53,7 +53,7 @@ class ServiceRuntime:
         *,
         artifacts: ArtifactStore | None = None,
         workers: int | None = None,
-        engine: str = "vectorized",
+        engine: str = "auto",
         chunk_size: int | None = None,
     ):
         self.artifacts = artifacts
@@ -262,7 +262,7 @@ def make_server(
     checkpoints: CheckpointStore,
     artifacts: ArtifactStore | None = None,
     workers: int | None = None,
-    engine: str = "vectorized",
+    engine: str = "auto",
     chunk_size: int | None = None,
     verbose: bool = False,
 ) -> ServiceServer:

@@ -45,6 +45,7 @@ from repro.api.artifacts import ArtifactStore
 from repro.api.batch import _noop, auto_workers
 from repro.api.runner import ScenarioResult
 from repro.api.scenarios import Scenario
+from repro.engines import canonical_engine
 from repro.exceptions import ExperimentError
 from repro.service.jobs import (
     ChunkJob,
@@ -130,7 +131,7 @@ class Orchestrator:
         *,
         artifacts: ArtifactStore | None = None,
         workers: int | None = None,
-        engine: str = "vectorized",
+        engine: str = "auto",
         chunk_size: int | None = None,
     ):
         if workers is not None and workers < 1:
@@ -138,7 +139,10 @@ class Orchestrator:
         self.checkpoints = checkpoints
         self.artifacts = artifacts
         self.workers = workers
-        self.engine = "vectorized" if engine == "packed" else engine
+        # The canonical name is what gets persisted into job specs; an
+        # ``"auto"`` job resolves per executing machine, which is safe
+        # because cross-engine partials merge (engine="mixed").
+        self.engine = canonical_engine(engine)
         self.chunk_size = chunk_size
         self.jobs: dict[str, Job] = {}
         self._executor = None

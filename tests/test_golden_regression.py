@@ -4,7 +4,8 @@
 engine-invariant counting statistics of a small fixed-seed slice of
 every §V experiment — two Table II rows, two defect-sweep points, the
 redundancy study and one Fig. 6 panel.  The tests re-run those
-scenarios through the real pipeline (``run_suite``) on **both** engines
+scenarios through the real pipeline (``run_suite``) on **every** engine
+tier — reference, vectorized and (where a backend loads) compiled —
 and demand byte-identical statistics, so no future refactor can
 silently drift the reproduction's numbers.
 
@@ -78,8 +79,13 @@ def load_golden() -> dict:
 
 
 class TestGoldenNumbers:
-    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    @pytest.mark.parametrize(
+        "engine", ["vectorized", "reference", "compiled", "auto"]
+    )
     def test_counting_statistics_frozen(self, engine):
+        # "compiled" and "auto" resolve to the compiled tier where a
+        # backend loads and degrade to "vectorized" elsewhere — either
+        # way the pinned numbers must come out bit for bit.
         assert compute_counting_statistics(engine) == load_golden()
 
     def test_golden_file_shape(self):
