@@ -439,6 +439,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service.http import make_server
     from repro.service.store import CheckpointStore
 
@@ -450,12 +453,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=canonical_engine(args.engine),
         chunk_size=args.chunk_size,
+        chunk_timeout=args.chunk_timeout,
+        chunk_retries=args.chunk_retries,
+        partial_policy=args.partial_policy,
         verbose=args.verbose,
     )
     host, port = server.server_address[:2]
     # The port line is machine-readable on purpose: scripts (and the CI
     # smoke test) bind --port 0 and parse the ephemeral port from it.
     print(f"repro service listening on http://{host}:{port}", flush=True)
+
+    # Graceful drain: on SIGTERM/SIGINT stop accepting submissions
+    # (503 + Retry-After), let in-flight chunks finish and checkpoint,
+    # then stop the serve loop.  A second signal skips straight to the
+    # hard stop.  The actual work happens on a helper thread — a signal
+    # handler must not call server.shutdown() from the serve thread.
+    stopping = threading.Event()
+
+    def _drain_and_stop() -> None:
+        server.runtime.begin_drain()
+        print(
+            f"repro service draining (grace {args.drain_grace:.0f}s)",
+            flush=True,
+        )
+        settled = server.runtime.drain(timeout=args.drain_grace)
+        print(
+            "repro service drained"
+            if settled
+            else "repro service drain grace expired; exiting anyway",
+            flush=True,
+        )
+        server.shutdown()
+
+    def _handle_signal(signum, frame) -> None:
+        if stopping.is_set():
+            threading.Thread(target=server.shutdown, daemon=True).start()
+            return
+        stopping.set()
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _handle_signal)
+    signal.signal(signal.SIGINT, _handle_signal)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -780,6 +818,49 @@ def build_parser() -> argparse.ArgumentParser:
             "samples per chunk job (default: auto, derived from each "
             "scenario's sample count — never from the local CPU count, so "
             "checkpoints resume across machines)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-chunk wall-clock deadline; a timed-out chunk counts as a "
+            "transient failure and is retried (default: no deadline)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--chunk-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "extra dispatches granted to a transiently failing chunk "
+            "(worker death, broken pool, OS error, timeout) before it is "
+            "quarantined (default: 2)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--partial-policy",
+        choices=("fail", "partial"),
+        default="fail",
+        help=(
+            "what a quarantined chunk does to its job: 'fail' (default) "
+            "fails the job naming the chunk; 'partial' completes the job "
+            "from the surviving sample ranges and records the quarantined "
+            "ranges on the job status (partial results are never cached)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, how long to wait for in-flight chunks to "
+            "finish and checkpoint while answering new submissions with "
+            "503 + Retry-After (default: 30)"
         ),
     )
     serve_parser.add_argument(

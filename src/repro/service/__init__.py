@@ -33,9 +33,15 @@ _EXPORTS = {
     "default_chunk_size": "repro.service.jobs",
     # checkpoint store
     "CheckpointStore": "repro.service.store",
+    # resilience
+    "QuarantinedChunk": "repro.service.resilience",
+    "classify_failure": "repro.service.resilience",
+    "backoff_delay": "repro.service.resilience",
     # orchestrator
     "Job": "repro.service.orchestrator",
     "Orchestrator": "repro.service.orchestrator",
+    "JobDrained": "repro.service.orchestrator",
+    "ServiceUnavailable": "repro.service.orchestrator",
     # http service
     "ServiceRuntime": "repro.service.http",
     "ServiceServer": "repro.service.http",

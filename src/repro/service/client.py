@@ -30,11 +30,41 @@ class ServiceError(ExperimentError):
 
 
 class ServiceClient:
-    """Talk to one ``repro serve`` instance over HTTP."""
+    """Talk to one ``repro serve`` instance over HTTP.
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0):
+    Every request runs under ``timeout`` seconds and is retried with
+    exponential backoff on the two failure shapes a well-behaved client
+    must absorb: ``503`` (the server is draining for a restart; its
+    ``Retry-After`` header, when present, overrides the backoff) and
+    connection-level errors (the server is briefly down between drain
+    and restart).  Retrying submissions is safe — jobs are keyed by
+    content hash, so a duplicate ``POST`` lands on the same job.
+    ``retries=0`` restores fail-fast behaviour for tests.
+    """
+
+    #: HTTP statuses worth retrying (the server said "come back").
+    RETRYABLE_STATUS = frozenset({503})
+
+    #: Upper bound on one backoff sleep, seconds.
+    MAX_BACKOFF = 5.0
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.25,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def _delay(self, attempt: int, retry_after: float | None) -> float:
+        if retry_after is not None:
+            return min(retry_after, self.MAX_BACKOFF)
+        return min(self.backoff * (2.0**attempt), self.MAX_BACKOFF)
 
     def _request(self, path: str, body: dict | None = None) -> dict:
         request = urllib.request.Request(
@@ -43,15 +73,33 @@ class ServiceClient:
             headers={"Content-Type": "application/json"},
             method="GET" if body is None else "POST",
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as answer:
-                return json.loads(answer.read())
-        except urllib.error.HTTPError as error:
+        for attempt in range(self.retries + 1):
             try:
-                message = json.loads(error.read()).get("error", str(error))
-            except (json.JSONDecodeError, OSError):
-                message = str(error)
-            raise ServiceError(error.code, message) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as answer:
+                    return json.loads(answer.read())
+            except urllib.error.HTTPError as error:
+                try:
+                    message = json.loads(error.read()).get("error", str(error))
+                except (json.JSONDecodeError, OSError):
+                    message = str(error)
+                if error.code in self.RETRYABLE_STATUS and attempt < self.retries:
+                    try:
+                        retry_after = float(error.headers.get("Retry-After"))
+                    except (TypeError, ValueError):
+                        retry_after = None
+                    time.sleep(self._delay(attempt, retry_after))
+                    continue
+                raise ServiceError(error.code, message) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+                if attempt < self.retries:
+                    time.sleep(self._delay(attempt, None))
+                    continue
+                raise ServiceError(
+                    0, f"cannot reach {self.base_url}: {error}"
+                ) from None
+        raise AssertionError("unreachable")  # loop always returns or raises
 
     # ------------------------------------------------------------------
     # Endpoints

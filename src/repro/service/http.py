@@ -16,7 +16,8 @@ Endpoints (all JSON):
 ``GET  /v1/jobs``          every job's status snapshot
 ``POST /v1/jobs``          submit a scenario spec (``Scenario.to_dict`` shape);
                            returns its job status — immediately ``done`` +
-                           ``cached`` when the spec is already in a store
+                           ``cached`` when the spec is already in a store;
+                           ``503`` + ``Retry-After`` while the server drains
 ``GET  /v1/jobs/<id>``     one job's status
 ``GET  /v1/jobs/<id>/result``  the full ``ScenarioResult`` payload (409 until
                            the job is done)
@@ -37,11 +38,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.api.artifacts import ArtifactStore
 from repro.api.scenarios import Scenario
 from repro.exceptions import ExperimentError, ReproError
-from repro.service.orchestrator import DONE, FAILED, Orchestrator
+from repro.service.orchestrator import (
+    DONE,
+    FAILED,
+    Orchestrator,
+    ServiceUnavailable,
+)
 from repro.service.store import CheckpointStore
 
 #: Seconds a handler thread waits for a loop-side operation to finish.
 CALL_TIMEOUT = 60.0
+
+#: ``Retry-After`` seconds advertised with a 503 while draining — short,
+#: because a draining server is typically about to be replaced.
+RETRY_AFTER_SECONDS = 1
 
 
 class ServiceRuntime:
@@ -55,6 +65,10 @@ class ServiceRuntime:
         workers: int | None = None,
         engine: str = "auto",
         chunk_size: int | None = None,
+        chunk_timeout: float | None = None,
+        chunk_retries: int = 2,
+        retry_delay: float = 0.05,
+        partial_policy: str = "fail",
     ):
         self.artifacts = artifacts
         self.orchestrator = Orchestrator(
@@ -63,6 +77,10 @@ class ServiceRuntime:
             workers=workers,
             engine=engine,
             chunk_size=chunk_size,
+            chunk_timeout=chunk_timeout,
+            chunk_retries=chunk_retries,
+            retry_delay=retry_delay,
+            partial_policy=partial_policy,
         )
         self.loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -80,6 +98,36 @@ class ServiceRuntime:
             self._started = True
             self._thread.start()
         return self
+
+    @property
+    def draining(self) -> bool:
+        """Whether the orchestrator refuses new submissions."""
+        return self.orchestrator.draining
+
+    def begin_drain(self) -> None:
+        """Start refusing submissions (503) without stopping the loop."""
+        self.orchestrator.begin_drain()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully drain: refuse new work, wait for in-flight chunks.
+
+        Returns ``True`` when every job settled within ``timeout``
+        seconds (``None`` = wait indefinitely), ``False`` on deadline —
+        either way, every chunk that finished has been checkpointed, so
+        a subsequent :meth:`stop` + process exit loses nothing.
+        """
+        self.begin_drain()
+        if not self._started:
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.orchestrator.drain(), self.loop
+        )
+        try:
+            future.result(timeout=timeout)
+            return True
+        except TimeoutError:
+            future.cancel()
+            return False
 
     def stop(self) -> None:
         """Stop the loop thread and release the worker pool."""
@@ -172,13 +220,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(
+        self, status: int, payload, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_unavailable(self, message: str) -> None:
+        """503 + ``Retry-After`` — the draining answer to a submission."""
+        self._send_json(
+            503,
+            {"error": message, "retry_after": RETRY_AFTER_SECONDS},
+            headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+        )
 
     def _send_error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -231,6 +291,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if length <= 0 or length > self.MAX_BODY:
             self._send_error(400, "submissions need a JSON body")
             return
+        if runtime.draining:
+            self._send_unavailable("service is draining; retry shortly")
+            return
         try:
             payload = json.loads(self.rfile.read(length))
         except json.JSONDecodeError as error:
@@ -238,6 +301,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         try:
             status = runtime.submit(payload)
+        except ServiceUnavailable as error:
+            # The drain began between the check above and the loop-side
+            # submit — same clean 503 either way.
+            self._send_unavailable(str(error))
+            return
         except ReproError as error:
             self._send_error(400, str(error))
             return
@@ -264,6 +332,10 @@ def make_server(
     workers: int | None = None,
     engine: str = "auto",
     chunk_size: int | None = None,
+    chunk_timeout: float | None = None,
+    chunk_retries: int = 2,
+    retry_delay: float = 0.05,
+    partial_policy: str = "fail",
     verbose: bool = False,
 ) -> ServiceServer:
     """Build (and start the runtime of) a service server.
@@ -271,7 +343,9 @@ def make_server(
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address``.  The caller owns the serve loop: call
     ``serve_forever()`` (blocking) or drive it from a thread in tests,
-    and ``shutdown()`` + ``runtime.stop()`` to tear down.
+    and ``shutdown()`` + ``runtime.stop()`` to tear down; call
+    ``runtime.drain()`` first for a graceful (checkpoint-preserving,
+    503-answering) exit.
     """
     runtime = ServiceRuntime(
         checkpoints,
@@ -279,5 +353,9 @@ def make_server(
         workers=workers,
         engine=engine,
         chunk_size=chunk_size,
+        chunk_timeout=chunk_timeout,
+        chunk_retries=chunk_retries,
+        retry_delay=retry_delay,
+        partial_policy=partial_policy,
     ).start()
     return ServiceServer((host, port), runtime, verbose=verbose)

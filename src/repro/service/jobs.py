@@ -126,12 +126,21 @@ def plan_chunks(scenario: Scenario, chunk_size: int) -> list[ChunkSpec]:
 
 @dataclass(frozen=True)
 class ChunkJob:
-    """Picklable work unit: one chunk of one scenario, on one engine."""
+    """Picklable work unit: one chunk of one scenario, on one engine.
+
+    ``attempt`` counts retries of this chunk (0 on first dispatch).  It
+    never affects the computed statistics — chunk payloads are a pure
+    function of ``(spec, range, engine)`` — but it does drive the
+    deterministic fault-injection hooks, which fire on the first
+    ``times`` attempts of a matching chunk (worker processes hold no
+    state, so the attempt number must travel with the job).
+    """
 
     spec_hash: str
     scenario_payload: dict
     chunk: ChunkSpec
     engine: str = "vectorized"
+    attempt: int = 0
 
 
 def execute_chunk(job: ChunkJob) -> dict:
@@ -141,7 +150,16 @@ def execute_chunk(job: ChunkJob) -> dict:
     "monte_carlo": ...}`` or ``{"protocol": "area", "rows": [...]}``.
     Runs serially inside the calling process — the orchestrator's pool
     provides the parallelism across chunks.
+
+    Instrumented with the worker-side fault points (``chunk.slow``,
+    ``worker.hang``, ``worker.crash``) of :mod:`repro.faults`; with no
+    plan armed the hooks are a dictionary miss each.
     """
+    from repro import faults
+
+    faults.trip("chunk.slow", key=job.chunk.key, attempt=job.attempt)
+    faults.trip("worker.hang", key=job.chunk.key, attempt=job.attempt)
+    faults.trip("worker.crash", key=job.chunk.key, attempt=job.attempt)
     scenario = Scenario.from_dict(job.scenario_payload)
     chunk = job.chunk
     if scenario.protocol == "area":
@@ -228,15 +246,24 @@ def assemble_rows(
     scenario: Scenario,
     plan: list[ChunkSpec],
     payloads: dict[ChunkSpec, dict],
+    *,
+    allow_missing: bool = False,
 ) -> list[dict]:
     """Assemble the final result rows from a complete static chunk plan.
 
     Produces exactly the row shapes of
     :class:`~repro.api.runner.ScenarioResult` so service results,
     CLI-run results and cached artifacts stay interchangeable.
+
+    With ``allow_missing=True`` (the orchestrator's ``"partial"``
+    quarantine policy) absent chunks are tolerated: mapping rows merge
+    whatever ranges survived (the merged result's ``sample_ranges``
+    provenance names the gaps), area rows simply omit the lost sample
+    indices.  A redundancy row with *no* surviving chunk still raises —
+    there is no meaningful partial statistic for an empty row.
     """
     missing = [chunk.key for chunk in plan if chunk not in payloads]
-    if missing:
+    if missing and not allow_missing:
         raise ExperimentError(
             f"cannot assemble {scenario.name!r}: missing chunks {missing}"
         )
@@ -244,12 +271,20 @@ def assemble_rows(
         rows = [
             row
             for chunk in sorted(plan)
+            if chunk in payloads
             for row in payloads[chunk]["rows"]
         ]
         return sorted(rows, key=lambda row: row["index"])
     rows = []
     for row_index, (extra_rows, extra_columns) in enumerate(scenario.redundancy):
-        row_chunks = sorted(c for c in plan if c.row_index == row_index)
+        row_chunks = sorted(
+            c for c in plan if c.row_index == row_index and c in payloads
+        )
+        if not row_chunks:
+            raise ExperimentError(
+                f"cannot assemble {scenario.name!r}: every chunk of "
+                f"redundancy row {row_index} was lost or quarantined"
+            )
         merged = merge_mapping_chunks([payloads[c] for c in row_chunks])
         rows.append(
             {

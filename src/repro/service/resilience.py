@@ -1,0 +1,98 @@
+"""Failure taxonomy, deterministic backoff and chunk quarantine.
+
+The orchestrator's retry loop (:mod:`repro.service.orchestrator`) is
+built from three small, separately testable pieces kept here:
+
+* :func:`classify_failure` — the retry taxonomy.  *Transient* failures
+  (a worker process dying, a broken pool, an OS-level error, a chunk
+  timeout) are environmental: the chunk itself is fine and a retry on a
+  healthy worker is expected to succeed.  *Deterministic* failures
+  (:class:`~repro.exceptions.ReproError` and any other in-library
+  exception) are properties of the chunk/spec — retrying replays the
+  same pure function and fails identically, so the chunk is quarantined
+  immediately instead of burning retries.
+* :func:`backoff_delay` — exponential backoff whose jitter is **seeded**
+  from ``(scenario seed, chunk key, attempt)`` via
+  :func:`~repro.api.seeding.derive_seed`, so a rerun of a faulted
+  campaign sleeps the exact same schedule (the chaos suite's
+  determinism contract covers the scheduler, not just the statistics).
+* :class:`QuarantinedChunk` — the record of a poisoned chunk: its
+  sample range, how many attempts were spent, and the final error.
+  Under the ``"partial"`` policy these land on the job payload so a
+  client can see exactly which global sample ranges are missing from a
+  partial result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+
+from repro.api.seeding import derive_seed
+from repro.exceptions import ReproError
+from repro.service.jobs import ChunkSpec
+
+#: Classification labels returned by :func:`classify_failure`.
+TRANSIENT, DETERMINISTIC = "transient", "deterministic"
+
+#: Exception types whose cause is environmental, not the chunk itself.
+#: ``BrokenExecutor`` covers ``BrokenProcessPool``; ``OSError`` covers
+#: injected worker crashes (:class:`repro.faults.FaultInjected`) and
+#: real resource failures; ``TimeoutError`` covers per-chunk deadline
+#: expiry (``asyncio.TimeoutError`` is the same type on 3.11+).
+TRANSIENT_TYPES = (BrokenExecutor, OSError, TimeoutError)
+
+
+def classify_failure(error: BaseException) -> str:
+    """Classify a chunk failure as :data:`TRANSIENT` or :data:`DETERMINISTIC`.
+
+    :class:`ReproError` wins over the transient types: an experiment
+    configured inconsistently stays deterministic even if some subclass
+    ever mixes in an OS error.
+    """
+    if isinstance(error, ReproError):
+        return DETERMINISTIC
+    if isinstance(error, TRANSIENT_TYPES):
+        return TRANSIENT
+    return DETERMINISTIC
+
+
+def backoff_delay(
+    seed: int,
+    chunk_key: str,
+    attempt: int,
+    *,
+    base: float,
+    cap: float = 5.0,
+) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``base * 2**attempt`` scaled by a jitter factor in ``[0.5, 1.5)``
+    derived from ``(seed, chunk_key, attempt)`` — different chunks (and
+    different attempts) de-synchronise, identical reruns reproduce the
+    same schedule.  Clamped to ``cap`` seconds.
+    """
+    if base <= 0:
+        return 0.0
+    jitter = derive_seed(seed, "retry-jitter", chunk_key, attempt) / float(1 << 63)
+    return min(base * (2.0**attempt) * (0.5 + jitter), cap)
+
+
+@dataclass(frozen=True)
+class QuarantinedChunk:
+    """A chunk abandoned after exhausting its failure budget."""
+
+    chunk: ChunkSpec
+    attempts: int
+    error: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe record carried on the job's status payload."""
+        return {
+            "row_index": self.chunk.row_index,
+            "start": self.chunk.start,
+            "stop": self.chunk.stop,
+            "key": self.chunk.key,
+            "attempts": self.attempts,
+            "error": self.error,
+        }

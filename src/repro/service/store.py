@@ -33,10 +33,18 @@ from __future__ import annotations
 import json
 import os
 import uuid
+import warnings
 from pathlib import Path
+
+from repro import faults
 
 #: File name of the job-level spec/plan metadata.
 SPEC_FILE = "spec.json"
+
+#: Suffix a corrupt checkpoint file is renamed to when quarantined —
+#: it stops matching the ``.json`` resume index, so the chunk (or spec,
+#: or result) is simply recomputed.
+CORRUPT_SUFFIX = ".corrupt"
 
 #: File name of the merged final result.
 RESULT_FILE = "result.json"
@@ -54,10 +62,33 @@ def atomic_write_json(path: Path, payload: dict) -> None:
 
 
 def read_json(path: Path) -> dict | None:
-    """Decode one JSON file; ``None`` when absent (never half-written)."""
+    """Decode one JSON file; ``None`` when absent (never half-written).
+
+    A file that exists but does not parse is **corrupt** — something
+    external tore it (atomic renames rule out our own writers).  It is
+    quarantined: renamed aside with :data:`CORRUPT_SUFFIX` so the resume
+    index stops counting it, and reported with a :class:`RuntimeWarning`
+    naming the quarantined path (mirroring the artifact store's
+    truncated-JSONL warning).  The caller then simply recomputes.
+    """
     try:
-        return json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        quarantined = path.with_name(path.name + CORRUPT_SUFFIX)
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = path
+        warnings.warn(
+            f"quarantined corrupt checkpoint file {quarantined} "
+            "(unparseable JSON); its payload will be recomputed",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
 
 
@@ -111,8 +142,22 @@ class CheckpointStore:
     # Chunks
     # ------------------------------------------------------------------
     def write_chunk(self, spec_hash: str, key: str, payload: dict) -> None:
-        """Checkpoint one completed chunk."""
-        atomic_write_json(self.chunk_path(spec_hash, key), payload)
+        """Checkpoint one completed chunk.
+
+        Instrumented with the ``checkpoint.corrupt`` fault point: an
+        armed :class:`repro.faults.FaultPlan` makes the write land
+        *torn* (truncated JSON), simulating a crash mid-write for the
+        chaos suite — the quarantine in :func:`read_json` must recover.
+        """
+        path = self.chunk_path(spec_hash, key)
+        if faults.should_corrupt(key):
+            text = json.dumps(payload, sort_keys=True)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+            tmp.write_text(text[: max(1, len(text) // 2)])
+            os.replace(tmp, path)
+            return
+        atomic_write_json(path, payload)
 
     def read_chunk(self, spec_hash: str, key: str) -> dict | None:
         """One chunk's checkpoint, or ``None`` if it never completed."""
