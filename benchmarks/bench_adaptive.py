@@ -111,6 +111,7 @@ def collect(
     matching the run_all convention that larger ``--samples`` means a
     longer, more precise pass.
     """
+    start = time.perf_counter()
     per_circuit = {
         name: bench_circuit(
             name,
@@ -127,10 +128,12 @@ def collect(
     return {
         "benchmark": "adaptive",
         "circuits": list(circuits),
+        "samples": samples,
         "tolerance": tolerance,
         "defect_rate": defect_rate,
         "seed": seed,
         "per_circuit": per_circuit,
+        "elapsed_seconds": round(time.perf_counter() - start, 4),
         "savings_factor": round(sum(factors) / len(factors), 2),
     }
 

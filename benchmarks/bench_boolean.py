@@ -78,6 +78,7 @@ def collect(
     *, sizes=(8, 10, 12, 15), samples=50, seed=7, verbose=True
 ) -> dict:
     """Run the benchmark and return machine-readable metrics."""
+    wall_start = time.perf_counter()
     engines = ["object", "packed"]
     if compiled_available():
         engines.append("compiled")
@@ -143,6 +144,7 @@ def collect(
         "seed": seed,
         "compiled_backend": compiled_backend(),
         "per_size": per_size,
+        "elapsed_seconds": round(time.perf_counter() - wall_start, 4),
         "object_seconds": round(totals["object"], 4),
         "packed_seconds": round(totals["packed"], 4),
         "speedup": round(overall, 2),

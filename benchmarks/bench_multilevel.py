@@ -97,6 +97,7 @@ def collect(
     workers=1,
 ) -> dict:
     """Run the benchmark and return machine-readable metrics."""
+    start = time.perf_counter()
     speedups = {
         name: bench_circuit(
             name,
@@ -119,6 +120,7 @@ def collect(
         "extra_rows": extra_rows,
         "seed": seed,
         "per_circuit": {name: round(s, 2) for name, s in speedups.items()},
+        "elapsed_seconds": round(time.perf_counter() - start, 4),
         "speedup": round(sum(speedups.values()) / len(speedups), 2),
     }
 

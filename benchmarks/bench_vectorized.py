@@ -95,6 +95,7 @@ def collect(
     workers=1,
 ) -> dict:
     """Run the benchmark and return machine-readable metrics."""
+    start = time.perf_counter()
     speedups = {
         name: bench_circuit(
             name,
@@ -117,6 +118,7 @@ def collect(
             name: {engine: round(s, 2) for engine, s in gains.items()}
             for name, gains in speedups.items()
         },
+        "elapsed_seconds": round(time.perf_counter() - start, 4),
         "speedup": round(
             sum(gains["vectorized"] for gains in speedups.values())
             / len(speedups),

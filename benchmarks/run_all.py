@@ -1,47 +1,62 @@
-"""One-command benchmark runner with a machine-readable perf trajectory.
+"""One-command benchmark runner, trajectory recorder, and regression gate.
 
-Runs the kernel benchmarks (currently the bit-packed Boolean pipeline
-and the vectorized Monte-Carlo mapping kernel) at a quick default scale
-and — with ``--json`` — appends each run's metrics to a per-benchmark
-trajectory file ``benchmarks/results/BENCH_<name>.json``::
+Runs the kernel benchmarks at a quick default scale and:
+
+* ``--json`` appends each run's metrics to the per-suite trajectory
+  ``benchmarks/results/BENCH_<name>.json`` (atomic append — a crashed
+  run never truncates history);
+* ``--compare`` gates every suite against the median of its last
+  ``--window`` recorded runs and exits non-zero on a wall-clock or
+  speedup regression beyond ``--threshold`` (see
+  :mod:`repro.perf.gate`); ``--soft`` reports (and annotates on GitHub
+  Actions) instead of failing, for non-blocking PR checks;
+* ``--report`` re-renders the trend tables in EXPERIMENTS.md.
+
+Typical invocations::
 
     PYTHONPATH=src python benchmarks/run_all.py --json
-    PYTHONPATH=src python benchmarks/run_all.py --json --suites boolean
-    PYTHONPATH=src python benchmarks/run_all.py --samples 200 --json
+    PYTHONPATH=src python benchmarks/run_all.py --json --compare
+    PYTHONPATH=src python benchmarks/run_all.py --json --compare --soft
+    PYTHONPATH=src python benchmarks/run_all.py --suites boolean corpus
+    PYTHONPATH=src python benchmarks/run_all.py --report
 
 Each trajectory file holds ``{"benchmark": ..., "runs": [...]}`` where
 every run records its UTC timestamp, the git commit it measured, the
-workload parameters and the speedups — so performance history is
-recorded across PRs instead of living in terminal scrollback.
+workload parameters and the measured metrics — performance history is
+recorded across PRs instead of living in terminal scrollback, and the
+gate is what keeps the engine tiers honest between benchmark PRs.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import subprocess
+import os
 import sys
-from datetime import datetime, timezone
 from pathlib import Path
 
-RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Make `import repro` and `import bench_*` work no matter where the
+# script is invoked from (repo root, benchmarks/, or an absolute path).
+for entry in (str(Path(__file__).resolve().parent), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.perf import (  # noqa: E402  (needs the sys.path bootstrap)
+    append_run,
+    compare_run,
+    git_commit,
+    load_trajectory,
+    trajectory_path,
+    update_experiments,
+)
 
 
-def git_commit() -> str:
-    """The current commit hash, or "unknown" outside a git checkout."""
-    try:
-        return (
-            subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                capture_output=True,
-                text=True,
-                check=True,
-                cwd=Path(__file__).parent,
-            ).stdout.strip()
-            or "unknown"
-        )
-    except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+def _run_adaptive(samples: int) -> dict:
+    from bench_adaptive import collect
+
+    return collect(samples=samples)
 
 
 def _run_boolean(samples: int) -> dict:
@@ -50,8 +65,8 @@ def _run_boolean(samples: int) -> dict:
     return collect(samples=samples)
 
 
-def _run_vectorized(samples: int) -> dict:
-    from bench_vectorized import collect
+def _run_corpus(samples: int) -> dict:
+    from bench_corpus import collect
 
     return collect(samples=samples)
 
@@ -62,8 +77,8 @@ def _run_multilevel(samples: int) -> dict:
     return collect(samples=samples)
 
 
-def _run_adaptive(samples: int) -> dict:
-    from bench_adaptive import collect
+def _run_vectorized(samples: int) -> dict:
+    from bench_vectorized import collect
 
     return collect(samples=samples)
 
@@ -72,30 +87,10 @@ def _run_adaptive(samples: int) -> dict:
 SUITES = {
     "adaptive": _run_adaptive,
     "boolean": _run_boolean,
+    "corpus": _run_corpus,
     "multilevel": _run_multilevel,
     "vectorized": _run_vectorized,
 }
-
-
-def append_trajectory(name: str, metrics: dict) -> Path:
-    """Append one run record to ``BENCH_<name>.json`` (created on demand)."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    if path.exists():
-        payload = json.loads(path.read_text())
-    else:
-        payload = {"benchmark": name, "runs": []}
-    payload["runs"].append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(
-                timespec="seconds"
-            ),
-            "commit": git_commit(),
-            **metrics,
-        }
-    )
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
 
 
 def main() -> int:
@@ -118,15 +113,113 @@ def main() -> int:
         action="store_true",
         help="append each run's metrics to benchmarks/results/BENCH_<name>.json",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help=(
+            "gate each suite against the median of its recorded "
+            "trajectory; exit 1 on regression (unless --soft)"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "regression tolerance as a fraction (default 0.40, i.e. fail "
+            "on >40%% wall-clock slowdown or >40%% speedup loss vs the "
+            "baseline median)"
+        ),
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trailing runs feeding the median baseline (default: 5)",
+    )
+    parser.add_argument(
+        "--soft",
+        action="store_true",
+        help=(
+            "with --compare: report regressions (and emit GitHub Actions "
+            "warning annotations) but exit 0 — for non-blocking PR checks"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "re-render the trend tables in EXPERIMENTS.md (standalone, or "
+            "after the run when combined with --json/--compare)"
+        ),
+    )
     args = parser.parse_args()
 
-    sys.path.insert(0, str(Path(__file__).parent))
+    if args.report and not args.json and not args.compare:
+        # Pure report mode: no benchmarks, just re-render the tables.
+        changed = update_experiments(REPO_ROOT / "EXPERIMENTS.md", RESULTS_DIR)
+        print(
+            "EXPERIMENTS.md trend tables "
+            + ("updated" if changed else "already current")
+        )
+        return 0
+
+    commit = git_commit(REPO_ROOT)
+    gate_failures = []
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs = {
+            "wall_threshold": args.threshold,
+            "speedup_threshold": args.threshold,
+        }
     for name in args.suites:
         print(f"== {name} ==")
         metrics = SUITES[name](args.samples)
+        path = trajectory_path(RESULTS_DIR, name)
+        if args.compare:
+            history = load_trajectory(path, name=name)["runs"]
+            result = compare_run(
+                metrics,
+                history,
+                benchmark=name,
+                window=args.window,
+                **kwargs,
+            )
+            print(result.render())
+            if not result.passed:
+                gate_failures.append(result)
         if args.json:
-            path = append_trajectory(name, metrics)
+            append_run(path, metrics, commit=commit)
             print(f"recorded run in {path}")
+
+    if args.report:
+        changed = update_experiments(REPO_ROOT / "EXPERIMENTS.md", RESULTS_DIR)
+        print(
+            "EXPERIMENTS.md trend tables "
+            + ("updated" if changed else "already current")
+        )
+
+    if gate_failures:
+        print(
+            f"\nperf gate: {len(gate_failures)} suite(s) regressed "
+            f"({', '.join(r.benchmark for r in gate_failures)})"
+        )
+        if os.environ.get("GITHUB_ACTIONS"):
+            for result in gate_failures:
+                for verdict in result.failures:
+                    change = verdict.change
+                    print(
+                        f"::warning title=perf gate ({result.benchmark})::"
+                        f"{verdict.metric} regressed "
+                        f"{change:+.1%} vs median baseline "
+                        f"{verdict.baseline:.4g} "
+                        f"(limit ±{verdict.threshold:.0%})"
+                    )
+        if not args.soft:
+            return 1
+        print("perf gate: --soft set, not failing the run")
+    elif args.compare:
+        print("\nperf gate: all suites within tolerance")
     return 0
 
 

@@ -1,166 +1,44 @@
-"""Reading and writing Berkeley PLA descriptions.
+"""Backwards-compatible PLA entry points.
 
-The MCNC / IWLS'93 benchmark circuits the paper evaluates on are
-distributed as ``.pla`` files; this module provides a self-contained
-parser and writer for the common ``fd``-type subset so benchmark circuits
-can be stored, exchanged and re-loaded as plain text.
-
-Supported directives: ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``,
-``.type`` (``f``, ``fd`` and ``fr``), ``.e``/``.end``.  Output characters:
-``1`` (on-set), ``0``/``~`` (off-set / no connection), ``-`` (don't care,
-treated as no connection for ``fd`` covers, which matches how two-level
-mappers consume the benchmarks).
+The canonical espresso-style parser/writer lives in
+:mod:`repro.circuits.pla` (don't-care sets, ``fr``/``fdr`` covers,
+content hashing, line-numbered diagnostics); this module keeps the
+historical ``repro.boolean.pla`` import path working.  The imports are
+deferred to call time so that ``repro.boolean`` (which everything,
+including :mod:`repro.circuits`, builds on) never imports
+``repro.circuits`` at module-import time.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from pathlib import Path
 
-from repro.boolean.cube import Cube
-from repro.boolean.function import BooleanFunction, Product
-from repro.exceptions import PlaFormatError
+from repro.boolean.function import BooleanFunction
 
 
 def parse_pla(text: str, *, name: str = "") -> BooleanFunction:
-    """Parse PLA text into a :class:`BooleanFunction`.
+    """Parse PLA text into a :class:`BooleanFunction` (on-set only)."""
+    from repro.circuits.pla import parse_pla as _parse_pla
 
-    Parameters
-    ----------
-    text:
-        Full contents of a ``.pla`` file.
-    name:
-        Circuit name to attach; defaults to the file's ``.type``-free stem
-        when omitted by the caller.
-    """
-    num_inputs: int | None = None
-    num_outputs: int | None = None
-    declared_products: int | None = None
-    input_names: list[str] | None = None
-    output_names: list[str] | None = None
-    pla_type = "fd"
-    rows: list[tuple[str, str]] = []
-
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line.startswith("."):
-            parts = line.split()
-            directive = parts[0]
-            if directive == ".i":
-                num_inputs = _parse_int(parts, line_number)
-            elif directive == ".o":
-                num_outputs = _parse_int(parts, line_number)
-            elif directive == ".p":
-                declared_products = _parse_int(parts, line_number)
-            elif directive == ".ilb":
-                input_names = parts[1:]
-            elif directive == ".ob":
-                output_names = parts[1:]
-            elif directive == ".type":
-                if len(parts) != 2:
-                    raise PlaFormatError(f"line {line_number}: malformed .type")
-                pla_type = parts[1]
-            elif directive in (".e", ".end"):
-                break
-            else:
-                # Ignore unknown directives (.phase, .pair, ...) like espresso.
-                continue
-        else:
-            parts = line.split()
-            if len(parts) == 2:
-                rows.append((parts[0], parts[1]))
-            elif len(parts) == 1 and num_inputs is not None:
-                rows.append((parts[0][:num_inputs], parts[0][num_inputs:]))
-            else:
-                raise PlaFormatError(
-                    f"line {line_number}: cannot split cube/output part in {line!r}"
-                )
-
-    if num_inputs is None or num_outputs is None:
-        raise PlaFormatError("PLA is missing .i or .o directive")
-    if input_names is None:
-        input_names = [f"x{i + 1}" for i in range(num_inputs)]
-    if output_names is None:
-        output_names = [f"f{i}" for i in range(num_outputs)]
-    if len(input_names) != num_inputs:
-        raise PlaFormatError(".ilb name count does not match .i")
-    if len(output_names) != num_outputs:
-        raise PlaFormatError(".ob name count does not match .o")
-
-    products: list[Product] = []
-    for input_part, output_part in rows:
-        if len(input_part) != num_inputs:
-            raise PlaFormatError(
-                f"cube {input_part!r} has {len(input_part)} columns, expected "
-                f"{num_inputs}"
-            )
-        if len(output_part) != num_outputs:
-            raise PlaFormatError(
-                f"output part {output_part!r} has {len(output_part)} columns, "
-                f"expected {num_outputs}"
-            )
-        cube = Cube.from_string(input_part)
-        outputs = set()
-        for index, char in enumerate(output_part):
-            if char == "1" or (pla_type == "fr" and char == "4"):
-                outputs.add(index)
-            elif char in ("0", "-", "~", "2", "4"):
-                continue
-            else:
-                raise PlaFormatError(f"invalid output character {char!r}")
-        if outputs:
-            products.append(Product(cube, frozenset(outputs)))
-
-    if declared_products is not None and declared_products != len(rows):
-        # Many benchmark files have slightly stale .p counts; accept them.
-        pass
-
-    return BooleanFunction(input_names, output_names, products, name=name)
+    return _parse_pla(text, name=name)
 
 
 def write_pla(function: BooleanFunction) -> str:
     """Serialise a :class:`BooleanFunction` as ``fd``-type PLA text."""
-    lines = [
-        f".i {function.num_inputs}",
-        f".o {function.num_outputs}",
-        ".ilb " + " ".join(function.input_names),
-        ".ob " + " ".join(function.output_names),
-        f".p {function.num_products}",
-        ".type fd",
-    ]
-    for product in function.products:
-        output_part = "".join(
-            "1" if i in product.outputs else "0"
-            for i in range(function.num_outputs)
-        )
-        lines.append(f"{product.cube.to_string()} {output_part}")
-    lines.append(".e")
-    return "\n".join(lines) + "\n"
+    from repro.circuits.pla import write_pla as _write_pla
+
+    return _write_pla(function)
 
 
-def load_pla(path: str, *, name: str | None = None) -> BooleanFunction:
+def load_pla(path: str | Path, *, name: str | None = None) -> BooleanFunction:
     """Read a PLA file from disk."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    if name is None:
-        name = path.rsplit("/", 1)[-1].removesuffix(".pla")
-    return parse_pla(text, name=name)
+    from repro.circuits.pla import load_pla as _load_pla
+
+    return _load_pla(path, name=name)
 
 
-def save_pla(function: BooleanFunction, path: str) -> None:
+def save_pla(function: BooleanFunction, path: str | Path) -> None:
     """Write a PLA file to disk."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(write_pla(function))
+    from repro.circuits.pla import save_pla as _save_pla
 
-
-def _parse_int(parts: Iterable[str], line_number: int) -> int:
-    parts = list(parts)
-    if len(parts) != 2:
-        raise PlaFormatError(f"line {line_number}: expected one integer argument")
-    try:
-        return int(parts[1])
-    except ValueError:
-        raise PlaFormatError(
-            f"line {line_number}: {parts[1]!r} is not an integer"
-        ) from None
+    _save_pla(function, path)

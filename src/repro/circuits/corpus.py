@@ -1,0 +1,251 @@
+"""Bulk benchmark-corpus ingestion keyed by content hash.
+
+The spec registry (:mod:`repro.circuits.registry`) knows the paper's
+Table I/II circuits; this module manages *everything else* — directories
+of ``.pla`` files (LGSynth/espresso suites, generated scale corpora,
+private benchmarks) ingested into a content-addressed store::
+
+    python -m repro circuits ingest benchmarks/corpus
+    python -m repro circuits list
+    python -m repro circuits info rpla_i16_o10_p200_s1
+
+A corpus lives in one directory (default ``.repro/corpus``, override
+with ``--corpus`` or ``$REPRO_CORPUS``): an ``index.json`` mapping
+circuit names to entries plus a ``files/`` directory holding one
+normalised ``.pla`` per content hash.  The hash is computed over the
+*parsed* cover (see :func:`repro.circuits.pla.pla_content_hash`), so
+re-ingesting a reformatted or re-commented copy of a known file is a
+no-op, and the same name can never silently point at two different
+covers.  Index writes are atomic (tmp + ``os.replace``): a crashed
+ingest never truncates the index.
+
+Ingested circuits resolve everywhere registry circuits do — CLI
+``--circuit`` flags, scenario sources, ``get_benchmark`` — via the
+``corpus`` variant and the registry's fallback lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.boolean.function import BooleanFunction
+from repro.circuits.pla import (
+    PlaDocument,
+    load_pla_document,
+    parse_pla_document,
+    pla_content_hash,
+    pla_statistics,
+    write_pla_document,
+)
+from repro.exceptions import CorpusError, PlaFormatError
+
+#: Default corpus location (relative to the working directory).
+DEFAULT_CORPUS_DIR = ".repro/corpus"
+
+#: Environment variable overriding the default corpus location.
+CORPUS_ENV = "REPRO_CORPUS"
+
+_INDEX_VERSION = 1
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`Corpus.ingest` call did, for rendering and tests."""
+
+    registered: list[str] = field(default_factory=list)
+    duplicates: list[str] = field(default_factory=list)
+    renamed: dict[str, str] = field(default_factory=dict)
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def scanned(self) -> int:
+        """Total files examined."""
+        return len(self.registered) + len(self.duplicates) + len(self.errors)
+
+    def render(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"scanned {self.scanned} file(s): "
+            f"{len(self.registered)} registered, "
+            f"{len(self.duplicates)} already known, "
+            f"{len(self.errors)} rejected"
+        ]
+        for original, final in sorted(self.renamed.items()):
+            lines.append(f"  name collision: {original} ingested as {final}")
+        for path, message in self.errors:
+            lines.append(f"  rejected {path}: {message}")
+        return "\n".join(lines)
+
+
+class Corpus:
+    """A content-addressed directory of ingested benchmark circuits."""
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get(CORPUS_ENV) or DEFAULT_CORPUS_DIR
+        self.root = Path(root)
+        self.index_path = self.root / "index.json"
+        self.files_dir = self.root / "files"
+
+    # ------------------------------------------------------------------
+    # Index I/O
+    # ------------------------------------------------------------------
+    def _load_index(self) -> dict:
+        if not self.index_path.exists():
+            return {"version": _INDEX_VERSION, "circuits": {}}
+        try:
+            index = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise CorpusError(
+                f"corpus index {self.index_path} is unreadable: {error}"
+            ) from None
+        if not isinstance(index, dict) or "circuits" not in index:
+            raise CorpusError(
+                f"corpus index {self.index_path} has no 'circuits' table"
+            )
+        return index
+
+    def _save_index(self, index: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix="index-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.index_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, source: str | Path) -> IngestReport:
+        """Register a ``.pla`` file or every ``.pla`` under a directory.
+
+        Files are keyed by content hash: a file whose parsed cover is
+        already registered is reported as a duplicate and skipped; a new
+        cover arriving under a taken name is registered as
+        ``<name>-<hash8>``.  Unparseable files are reported (with their
+        line-numbered diagnostics) and do not abort the rest.
+        """
+        source = Path(source)
+        if source.is_dir():
+            paths = sorted(source.rglob("*.pla"))
+            if not paths:
+                raise CorpusError(f"no .pla files under {source}")
+        elif source.exists():
+            paths = [source]
+        else:
+            raise CorpusError(f"no such file or directory: {source}")
+
+        index = self._load_index()
+        circuits: dict = index["circuits"]
+        by_hash = {entry["hash"]: name for name, entry in circuits.items()}
+        report = IngestReport()
+
+        for path in paths:
+            try:
+                text = path.read_text(encoding="utf-8")
+                document = parse_pla_document(
+                    text, name=path.name.removesuffix(".pla")
+                )
+                content_hash = pla_content_hash(text)
+            except (OSError, UnicodeDecodeError, PlaFormatError) as error:
+                report.errors.append((str(path), str(error)))
+                continue
+            if content_hash in by_hash:
+                report.duplicates.append(by_hash[content_hash])
+                continue
+            name = document.name
+            if name in circuits:
+                final = f"{name}-{content_hash[:8]}"
+                report.renamed[name] = final
+                name = final
+            self.files_dir.mkdir(parents=True, exist_ok=True)
+            stored = self.files_dir / f"{content_hash}.pla"
+            if not stored.exists():
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.files_dir, prefix="ingest-", suffix=".pla.tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(write_pla_document(document))
+                    os.replace(tmp, stored)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+            circuits[name] = {
+                "hash": content_hash,
+                "source": str(path),
+                **pla_statistics(document),
+            }
+            by_hash[content_hash] = name
+            report.registered.append(name)
+
+        self._save_index(index)
+        return report
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered circuit names, sorted."""
+        return sorted(self._load_index()["circuits"])
+
+    def __len__(self) -> int:
+        return len(self._load_index()["circuits"])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._load_index()["circuits"]
+
+    def info(self, name: str) -> dict:
+        """The index entry of one circuit (hash, source, statistics)."""
+        circuits = self._load_index()["circuits"]
+        if name not in circuits:
+            raise CorpusError(
+                f"no circuit {name!r} in corpus {self.root} "
+                f"({len(circuits)} registered)"
+            )
+        return {"name": name, **circuits[name]}
+
+    def load_document(self, name: str) -> PlaDocument:
+        """Load one circuit's full PLA document from the store."""
+        entry = self.info(name)
+        stored = self.files_dir / f"{entry['hash']}.pla"
+        if not stored.exists():
+            raise CorpusError(
+                f"corpus file missing for {name!r}: {stored} "
+                "(index and files/ are out of sync)"
+            )
+        return load_pla_document(stored, name=name)
+
+    def load(self, name: str) -> BooleanFunction:
+        """Load one circuit's on-set function from the store."""
+        return self.load_document(name).function
+
+
+def default_corpus() -> Corpus:
+    """The ambient corpus: ``$REPRO_CORPUS`` or ``.repro/corpus``."""
+    return Corpus()
+
+
+def find_in_default_corpus(name: str) -> BooleanFunction | None:
+    """Resolve a name against the default corpus; ``None`` when absent.
+
+    Used as the registry fallback: any circuit ingested into the ambient
+    corpus resolves wherever spec benchmarks do.
+    """
+    corpus = default_corpus()
+    try:
+        if name in corpus:
+            return corpus.load(name)
+    except CorpusError:
+        return None
+    return None

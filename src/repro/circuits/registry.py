@@ -30,7 +30,7 @@ from repro.circuits.synthetic import (
 from repro.exceptions import BenchmarkError
 
 #: Accepted values of the ``variant`` argument.
-VARIANTS = ("table2", "table1", "functional")
+VARIANTS = ("table2", "table1", "functional", "corpus")
 
 
 def list_benchmarks(variant: str = "table2") -> list[str]:
@@ -41,6 +41,10 @@ def list_benchmarks(variant: str = "table2") -> list[str]:
         return all_table1_names()
     if variant == "functional":
         return ["rd53", "rd73", "rd84", "sqrt8", "squar5"]
+    if variant == "corpus":
+        from repro.circuits.corpus import default_corpus
+
+        return default_corpus().names()
     raise BenchmarkError(f"unknown benchmark variant {variant!r}")
 
 
@@ -65,8 +69,23 @@ def get_benchmark(
         )
     if variant == "functional":
         return exact_benchmark(name)
+    if variant == "corpus":
+        from repro.circuits.corpus import default_corpus
+
+        return default_corpus().load(name)
     table = 1 if variant == "table1" else 2
-    spec = get_spec(name, table=table)
+    try:
+        spec = get_spec(name, table=table)
+    except BenchmarkError:
+        # Fall back to the ambient ingested corpus so circuits added via
+        # `repro circuits ingest` resolve wherever spec benchmarks do
+        # (CLI --circuit flags, scenario sources, analysis entry points).
+        from repro.circuits.corpus import find_in_default_corpus
+
+        function = find_in_default_corpus(name)
+        if function is not None:
+            return function
+        raise
     return synthetic_benchmark(spec, seed=seed)
 
 

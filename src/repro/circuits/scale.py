@@ -1,0 +1,262 @@
+"""Scaled synthetic circuit families (LGSynth-class sizes).
+
+The registry's Table I/II stand-ins top out at a couple hundred products
+because they mirror the paper's tables.  The vectorized and compiled
+engine tiers, however, only show their asymptotic behaviour on covers
+with *hundreds* of rows — the regime the real LGSynth/espresso suites
+occupy.  This module generates such circuits deterministically:
+
+* :func:`random_pla` — a flat random PLA: independent random cubes with
+  a target literal density and output fan-out (an espresso-hard cover
+  with no exploitable structure);
+* :func:`layered_logic` — a layered family whose deeper products are
+  intersections of earlier ones, so cube widths grow with depth and
+  rows share structure (the shape technology-mapped multi-level logic
+  collapses into);
+* :func:`generate_corpus` — write the default benchmark corpus (both
+  families over a grid of sizes) as ``.pla`` files, seed-stable down to
+  the byte, for :mod:`repro.circuits.corpus` to ingest.
+
+Everything is driven by explicit seeds — the same call always returns
+the same circuit, so generated corpora are reproducible and trajectory
+comparisons across commits measure the engines, not the workload.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction, Product
+from repro.circuits.synthetic import _ensure_all_outputs_driven
+from repro.exceptions import BenchmarkError
+
+#: (inputs, outputs, products) grid of the default generated corpus.
+CORPUS_GRID = (
+    (14, 8, 120),
+    (16, 8, 160),
+    (16, 10, 200),
+    (18, 10, 240),
+    (20, 12, 280),
+)
+
+#: Seeds generated per grid point (two per point keeps families diverse).
+CORPUS_SEEDS = (1, 2)
+
+#: One extra-large point per family so the corpus reaches 300+ rows.
+CORPUS_JUMBO = (22, 14, 320)
+
+
+def random_pla(
+    num_inputs: int,
+    num_outputs: int,
+    num_products: int,
+    *,
+    seed: int,
+    literal_target: float | None = None,
+    fanout_target: float = 2.0,
+    name: str = "",
+) -> BooleanFunction:
+    """A flat random PLA with exactly ``num_products`` distinct cubes.
+
+    ``literal_target`` is the mean number of literals per cube (default:
+    half the inputs — dense enough that rows conflict under defects,
+    sparse enough that the cover is satisfiable); ``fanout_target`` the
+    mean number of outputs each product drives.
+    """
+    _check_size(num_inputs, num_outputs, num_products)
+    rng = random.Random(seed)
+    if literal_target is None:
+        literal_target = max(2.0, num_inputs / 2)
+    products: list[Product] = []
+    seen: set[Cube] = set()
+    attempts = 0
+    while len(products) < num_products:
+        attempts += 1
+        if attempts > 200 * num_products + 10_000:
+            raise BenchmarkError(
+                f"could not generate {num_products} distinct random cubes "
+                f"over {num_inputs} inputs"
+            )
+        count = _jitter(rng, literal_target, 1, num_inputs)
+        variables = rng.sample(range(num_inputs), count)
+        cube = Cube.from_literals(
+            {variable: rng.random() < 0.5 for variable in variables},
+            num_inputs,
+        )
+        if cube in seen:
+            continue
+        seen.add(cube)
+        fanout = _jitter(rng, fanout_target, 1, num_outputs)
+        outputs = frozenset(rng.sample(range(num_outputs), fanout))
+        products.append(Product(cube, outputs))
+    products = _ensure_all_outputs_driven(products, num_outputs)
+    return BooleanFunction(
+        [f"x{i + 1}" for i in range(num_inputs)],
+        [f"f{i}" for i in range(num_outputs)],
+        products,
+        name=name or f"rpla_i{num_inputs}_o{num_outputs}_p{num_products}_s{seed}",
+    )
+
+
+def layered_logic(
+    num_inputs: int,
+    num_outputs: int,
+    num_products: int,
+    *,
+    seed: int,
+    layers: int = 3,
+    base_literals: float = 2.0,
+    name: str = "",
+) -> BooleanFunction:
+    """A layered cover: deeper products intersect shallower ones.
+
+    Layer 0 holds wide cubes with ``base_literals`` literals on average;
+    every later layer draws two parents from the previous layer and
+    merges their literal sets (conflicting literals keep one parent's
+    polarity or drop out), so cube width grows with depth and products
+    share sub-structure the way collapsed multi-level logic does.
+    """
+    _check_size(num_inputs, num_outputs, num_products)
+    if layers < 1:
+        raise BenchmarkError(f"layered_logic needs layers >= 1, got {layers}")
+    rng = random.Random(seed)
+    per_layer = max(1, num_products // layers)
+
+    def draw_base() -> dict[int, bool]:
+        count = _jitter(rng, base_literals, 1, max(1, num_inputs - 1))
+        variables = rng.sample(range(num_inputs), count)
+        return {variable: rng.random() < 0.5 for variable in variables}
+
+    def merge(a: dict[int, bool], b: dict[int, bool]) -> dict[int, bool]:
+        merged = dict(a)
+        for variable, polarity in b.items():
+            if variable in merged and merged[variable] != polarity:
+                # Conflict: a literal and its negation cannot co-exist in
+                # one cube; keep one polarity or drop the variable.
+                choice = rng.random()
+                if choice < 1 / 3:
+                    del merged[variable]
+                elif choice < 2 / 3:
+                    merged[variable] = polarity
+            else:
+                merged[variable] = polarity
+        # A cube with every input bound is a single minterm — legal but
+        # unrepresentative; free a variable to keep some don't-cares.
+        while len(merged) >= num_inputs:
+            del merged[rng.choice(sorted(merged))]
+        return merged
+
+    previous: list[dict[int, bool]] = [draw_base() for _ in range(per_layer)]
+    pool: list[dict[int, bool]] = list(previous)
+    for _ in range(1, layers):
+        current = [
+            merge(rng.choice(previous), rng.choice(previous))
+            for _ in range(per_layer)
+        ]
+        pool.extend(current)
+        previous = current
+
+    products: list[Product] = []
+    seen: set[Cube] = set()
+    attempts = 0
+    index = 0
+    while len(products) < num_products:
+        attempts += 1
+        if attempts > 200 * num_products + 10_000:
+            raise BenchmarkError(
+                f"could not generate {num_products} distinct layered cubes "
+                f"over {num_inputs} inputs"
+            )
+        if index < len(pool):
+            literals = pool[index]
+            index += 1
+        else:
+            literals = merge(rng.choice(pool), rng.choice(pool))
+        if not literals:
+            continue
+        cube = Cube.from_literals(literals, num_inputs)
+        if cube in seen:
+            continue
+        seen.add(cube)
+        fanout = _jitter(rng, 2.0, 1, num_outputs)
+        outputs = frozenset(rng.sample(range(num_outputs), fanout))
+        products.append(Product(cube, outputs))
+    products = _ensure_all_outputs_driven(products, num_outputs)
+    return BooleanFunction(
+        [f"x{i + 1}" for i in range(num_inputs)],
+        [f"f{i}" for i in range(num_outputs)],
+        products,
+        name=name or f"layer_i{num_inputs}_o{num_outputs}_p{num_products}_s{seed}",
+    )
+
+
+#: Family name → generator callable, for the CLI and the corpus writer.
+SCALE_FAMILIES = {
+    "random": random_pla,
+    "layered": layered_logic,
+}
+
+
+def corpus_manifest() -> list[tuple[str, str, int, int, int, int]]:
+    """The default corpus as ``(family, name, I, O, P, seed)`` rows."""
+    rows = []
+    for family in sorted(SCALE_FAMILIES):
+        grid = [
+            (inputs, outputs, products, seed)
+            for inputs, outputs, products in CORPUS_GRID
+            for seed in CORPUS_SEEDS
+        ]
+        grid.append((*CORPUS_JUMBO, CORPUS_SEEDS[0]))
+        for inputs, outputs, products, seed in grid:
+            prefix = "rpla" if family == "random" else "layer"
+            name = f"{prefix}_i{inputs}_o{outputs}_p{products}_s{seed}"
+            rows.append((family, name, inputs, outputs, products, seed))
+    return rows
+
+
+def generate_corpus(directory: str | Path, *, verbose: bool = False) -> list[Path]:
+    """Write the default generated corpus as ``.pla`` files.
+
+    Deterministic: the same repository state always regenerates
+    byte-identical files, so the shipped corpus under
+    ``benchmarks/corpus/`` can be audited with a plain re-run.
+    """
+    from repro.circuits.pla import write_pla
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for family, name, inputs, outputs, products, seed in corpus_manifest():
+        function = SCALE_FAMILIES[family](
+            inputs, outputs, products, seed=seed, name=name
+        )
+        header = (
+            f"# {name}: generated by repro.circuits.scale ({family} family,"
+            f" I={inputs} O={outputs} P={products} seed={seed})\n"
+        )
+        path = directory / f"{name}.pla"
+        path.write_text(header + write_pla(function), encoding="utf-8")
+        paths.append(path)
+        if verbose:
+            print(f"wrote {path}")
+    return paths
+
+
+def _jitter(rng: random.Random, target: float, low: int, high: int) -> int:
+    """An integer near ``target``, jittered by ±1 and clamped to [low, high]."""
+    value = int(round(target)) + rng.choice((-1, 0, 0, 1))
+    return max(low, min(high, value))
+
+
+def _check_size(num_inputs: int, num_outputs: int, num_products: int) -> None:
+    if num_inputs < 2 or num_outputs < 1 or num_products < 1:
+        raise BenchmarkError(
+            f"invalid scale parameters: I={num_inputs} O={num_outputs} "
+            f"P={num_products}"
+        )
+    if num_products > 3 ** num_inputs:
+        raise BenchmarkError(
+            f"cannot fit {num_products} distinct cubes over {num_inputs} inputs"
+        )

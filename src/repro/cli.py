@@ -438,6 +438,50 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    from repro.circuits.corpus import Corpus
+
+    corpus = Corpus(args.corpus)
+    if args.action == "ingest":
+        report = corpus.ingest(args.path)
+        print(report.render())
+        print(f"corpus {corpus.root}: {len(corpus)} circuit(s) registered")
+        # Partial success is fine (bad files are reported above); only a
+        # run that registered nothing and hit errors fails.
+        failed = report.errors and not (report.registered or report.duplicates)
+        return 1 if failed else 0
+    if args.action == "generate":
+        from repro.circuits.scale import generate_corpus
+
+        paths = generate_corpus(args.path, verbose=True)
+        print(f"generated {len(paths)} file(s) under {args.path}")
+        return 0
+    if args.action == "list":
+        entries = [corpus.info(name) for name in corpus.names()]
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
+        if not entries:
+            print(f"corpus {corpus.root} is empty; run `repro circuits ingest`")
+            return 0
+        width = max(len(entry["name"]) for entry in entries)
+        for entry in entries:
+            print(
+                f"{entry['name']:{width}s}  I={entry['inputs']:3d} "
+                f"O={entry['outputs']:3d} P={entry['products']:4d} "
+                f"lit={entry['literals']:5d}  {entry['hash'][:12]}"
+            )
+        return 0
+    # info
+    entry = corpus.info(args.name)
+    if args.json:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    else:
+        for key in sorted(entry):
+            print(f"{key:12s} {entry[key]}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -881,6 +925,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="log every HTTP request to stderr",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    circuits_parser = subparsers.add_parser(
+        "circuits",
+        help=(
+            "manage the benchmark corpus: bulk-ingest .pla directories by "
+            "content hash, list/inspect registered circuits, regenerate "
+            "the synthetic scale corpus"
+        ),
+    )
+    circuits_sub = circuits_parser.add_subparsers(dest="action", required=True)
+
+    ingest_parser = circuits_sub.add_parser(
+        "ingest",
+        help="register a .pla file or every .pla under a directory",
+    )
+    ingest_parser.add_argument("path", help="a .pla file or a directory")
+
+    generate_parser = circuits_sub.add_parser(
+        "generate",
+        help=(
+            "write the default synthetic scale corpus (random-PLA and "
+            "layered families, hundreds of rows, seed-stable) into a "
+            "directory, ready for `circuits ingest`"
+        ),
+    )
+    generate_parser.add_argument("path", help="output directory")
+
+    circuits_list_parser = circuits_sub.add_parser(
+        "list", help="list registered corpus circuits with statistics"
+    )
+    circuits_list_parser.add_argument(
+        "--json", action="store_true", help="print the index entries as JSON"
+    )
+
+    info_parser = circuits_sub.add_parser(
+        "info", help="show one circuit's index entry (hash, source, stats)"
+    )
+    info_parser.add_argument("name", help="registered circuit name")
+    info_parser.add_argument(
+        "--json", action="store_true", help="print the entry as JSON"
+    )
+
+    for sub in (
+        ingest_parser,
+        generate_parser,
+        circuits_list_parser,
+        info_parser,
+    ):
+        sub.add_argument(
+            "--corpus",
+            metavar="DIR",
+            default=None,
+            help=(
+                "corpus directory (default: $REPRO_CORPUS or .repro/corpus)"
+            ),
+        )
+    circuits_parser.set_defaults(handler=_cmd_circuits)
 
     list_parser = subparsers.add_parser(
         "list", help="enumerate registered mappers, defect models or scenarios"

@@ -46,11 +46,25 @@ def _compiler() -> str | None:
     return None
 
 
+#: Environment override for the build directory root.  CI jobs point
+#: this at a cached path (e.g. ``actions/cache``) so the ``.so`` —
+#: keyed by the source digest, hence safely shareable across commits
+#: that don't touch ``_kernels.c`` — survives between runs.
+CACHE_ENV = "REPRO_COMPILED_CACHE"
+
+
 def build_library(build_root: str | os.PathLike | None = None) -> Path:
-    """Compile (once) and return the shared-library path."""
+    """Compile (once) and return the shared-library path.
+
+    The build root resolves as: explicit ``build_root`` argument, then
+    the :data:`CACHE_ENV` environment variable, then the system temp
+    directory.
+    """
     source = _SOURCE_PATH.read_bytes()
     digest = hashlib.blake2b(source, digest_size=8).hexdigest()
     uid = getattr(os, "getuid", lambda: 0)()
+    if build_root is None:
+        build_root = os.environ.get(CACHE_ENV) or None
     root = Path(build_root) if build_root is not None else Path(
         tempfile.gettempdir()
     )

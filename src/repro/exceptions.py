@@ -53,6 +53,15 @@ class BenchmarkError(ReproError):
     """Unknown benchmark circuit or inconsistent benchmark specification."""
 
 
+class CorpusError(BenchmarkError):
+    """A benchmark-corpus ingestion or lookup failed.
+
+    Subclasses :class:`BenchmarkError` because corpus circuits resolve
+    through the same registry paths as the paper's spec benchmarks;
+    callers catching :class:`BenchmarkError` keep working.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 

@@ -1,0 +1,213 @@
+"""Corpus ingestion, registry integration, and engine parity at scale.
+
+Covers the benchmark-corpus pipeline end to end: the shipped
+``benchmarks/corpus/`` directory must ingest into a content-addressed
+corpus (>= 20 circuits, dedupe on re-ingest, readable errors), ingested
+circuits must resolve through the benchmark registry, the CLI
+subcommands must drive it, and — the payoff — one large synthetic
+circuit must produce sample-for-sample identical counting statistics on
+every Monte-Carlo engine tier.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.corpus import Corpus, default_corpus, find_in_default_corpus
+from repro.circuits.pla import parse_pla, write_pla
+from repro.circuits.registry import get_benchmark, list_benchmarks
+from repro.circuits.scale import (
+    CORPUS_GRID,
+    corpus_manifest,
+    generate_corpus,
+    layered_logic,
+    random_pla,
+)
+from repro.cli import main
+from repro.compiled import compiled_available
+from repro.exceptions import BenchmarkError, CorpusError
+from repro.experiments.monte_carlo import run_mapping_monte_carlo
+
+SHIPPED_CORPUS = Path(__file__).resolve().parent.parent / "benchmarks" / "corpus"
+
+
+def counting_stats(result):
+    return {
+        name: (o.successes, o.samples, o.total_backtracks, o.invalid_mappings)
+        for name, o in result.outcomes.items()
+    }
+
+
+class TestScaleGenerators:
+    def test_seed_stability(self):
+        a = write_pla(random_pla(12, 6, 80, seed=9))
+        b = write_pla(random_pla(12, 6, 80, seed=9))
+        assert a == b
+        assert a != write_pla(random_pla(12, 6, 80, seed=10))
+
+    def test_requested_scale_is_delivered(self):
+        function = random_pla(16, 8, 160, seed=1)
+        assert function.num_inputs == 16
+        assert function.num_outputs == 8
+        assert function.num_products == 160
+
+    def test_layered_drives_every_output(self):
+        function = layered_logic(14, 8, 120, seed=2)
+        driven = set()
+        for product in function.products:
+            driven |= set(product.outputs)
+        assert driven == set(range(8))
+
+    def test_manifest_matches_the_grid(self):
+        manifest = corpus_manifest()
+        assert len(manifest) >= 20
+        sizes = {(row[2], row[3], row[4]) for row in manifest}
+        assert set(CORPUS_GRID) <= sizes
+
+
+class TestCorpusIngest:
+    def test_shipped_corpus_registers_at_least_twenty(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        report = corpus.ingest(SHIPPED_CORPUS)
+        assert not report.errors
+        assert len(report.registered) >= 20
+        assert len(corpus) == len(report.registered)
+
+    def test_reingest_is_a_dedupe_noop(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        first = corpus.ingest(SHIPPED_CORPUS)
+        again = corpus.ingest(SHIPPED_CORPUS)
+        assert not again.registered
+        assert len(again.duplicates) == len(first.registered)
+        assert len(corpus) == len(first.registered)
+
+    def test_reformatted_copy_is_a_duplicate(self, tmp_path):
+        function = random_pla(8, 4, 20, seed=4, name="dup")
+        (tmp_path / "a.pla").write_text(write_pla(function))
+        (tmp_path / "b.pla").write_text(
+            "# same cover, new comment\n" + write_pla(function)
+        )
+        report = Corpus(tmp_path / "corpus").ingest(tmp_path)
+        assert len(report.registered) == 1
+        assert len(report.duplicates) == 1
+
+    def test_name_collision_gets_hash_suffix(self, tmp_path):
+        (tmp_path / "x").mkdir()
+        (tmp_path / "y").mkdir()
+        (tmp_path / "x" / "clash.pla").write_text(
+            write_pla(random_pla(6, 3, 10, seed=1))
+        )
+        (tmp_path / "y" / "clash.pla").write_text(
+            write_pla(random_pla(6, 3, 10, seed=2))
+        )
+        corpus = Corpus(tmp_path / "corpus")
+        report = corpus.ingest(tmp_path)
+        assert len(report.registered) == 2
+        assert len(report.renamed) == 1
+        assert any(name.startswith("clash-") for name in corpus.names())
+
+    def test_parse_errors_are_collected_not_fatal(self, tmp_path):
+        (tmp_path / "good.pla").write_text(write_pla(random_pla(6, 3, 10, seed=1)))
+        (tmp_path / "bad.pla").write_text(".i 2\n.o 1\n10101 1\n")
+        report = Corpus(tmp_path / "corpus").ingest(tmp_path)
+        assert len(report.registered) == 1
+        assert len(report.errors) == 1
+        assert "line 3" in report.errors[0][1]
+
+    def test_loaded_circuit_round_trips(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.ingest(SHIPPED_CORPUS)
+        name = sorted(corpus.names())[0]
+        function = corpus.load(name)
+        info = corpus.info(name)
+        assert function.num_inputs == info["inputs"]
+        assert function.num_products == info["products"]
+
+    def test_unknown_name_raises_corpus_error(self, tmp_path):
+        with pytest.raises(CorpusError, match="no-such"):
+            Corpus(tmp_path / "corpus").load("no-such-circuit")
+
+
+class TestRegistryIntegration:
+    @pytest.fixture
+    def corpus_env(self, tmp_path, monkeypatch):
+        root = tmp_path / "corpus"
+        Corpus(root).ingest(SHIPPED_CORPUS)
+        monkeypatch.setenv("REPRO_CORPUS", str(root))
+        return root
+
+    def test_default_corpus_honours_env(self, corpus_env):
+        assert len(default_corpus()) >= 20
+
+    def test_corpus_variant_lists_and_resolves(self, corpus_env):
+        names = list_benchmarks("corpus")
+        assert len(names) >= 20
+        function = get_benchmark(names[0], variant="corpus")
+        assert function.num_products > 0
+
+    def test_registry_falls_back_to_the_corpus(self, corpus_env):
+        name = sorted(default_corpus().names())[0]
+        assert get_benchmark(name).num_products > 0
+        assert find_in_default_corpus("definitely-not-there") is None
+        with pytest.raises(BenchmarkError):
+            get_benchmark("definitely-not-there")
+
+
+class TestCli:
+    def test_ingest_list_info(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        assert main(["circuits", "ingest", str(SHIPPED_CORPUS), "--corpus", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "registered" in out
+        assert main(["circuits", "list", "--corpus", corpus, "--json"]) == 0
+        names = json.loads(capsys.readouterr().out)
+        assert len(names) >= 20
+        name = names[0] if isinstance(names[0], str) else names[0]["name"]
+        assert main(["circuits", "info", name, "--corpus", corpus]) == 0
+        assert name in capsys.readouterr().out
+
+    def test_generate_then_ingest(self, tmp_path, capsys):
+        source = tmp_path / "generated"
+        corpus = str(tmp_path / "corpus")
+        assert main(["circuits", "generate", str(source)]) == 0
+        capsys.readouterr()
+        assert main(["circuits", "ingest", str(source), "--corpus", corpus]) == 0
+        assert "registered" in capsys.readouterr().out
+
+    def test_ingest_of_unparseable_only_dir_fails(self, tmp_path, capsys):
+        (tmp_path / "bad.pla").write_text("not a pla file\n")
+        code = main(
+            ["circuits", "ingest", str(tmp_path), "--corpus", str(tmp_path / "c")]
+        )
+        assert code == 1
+
+
+class TestEngineParityAtScale:
+    """One large synthetic circuit, identical statistics on every tier."""
+
+    SAMPLES = 12  # capped: parity is per-sample, so a dozen samples suffice
+
+    def test_counting_statistics_identical_across_engines(self):
+        function = random_pla(16, 8, 160, seed=3)
+        kwargs = dict(
+            defect_rate=0.10,
+            sample_size=self.SAMPLES,
+            algorithms=("hybrid", "exact"),
+            seed=11,
+        )
+        reference = run_mapping_monte_carlo(function, engine="reference", **kwargs)
+        vectorized = run_mapping_monte_carlo(function, engine="vectorized", **kwargs)
+        assert counting_stats(reference) == counting_stats(vectorized)
+        if compiled_available():
+            compiled = run_mapping_monte_carlo(function, engine="compiled", **kwargs)
+            assert counting_stats(reference) == counting_stats(compiled)
+
+    def test_generate_corpus_files_parse_back(self, tmp_path):
+        generate_corpus(tmp_path)
+        files = sorted(tmp_path.glob("*.pla"))
+        assert len(files) >= 20
+        parsed = parse_pla(files[0].read_text(), name=files[0].stem)
+        assert parsed.num_products > 0

@@ -1,0 +1,212 @@
+"""Round-trip, dialect, and error-reporting tests for the PLA parser.
+
+The corpus pipeline (ingest → hash → registry) trusts one invariant:
+``parse_pla(write_pla(f))`` is semantically the identity.  These tests
+check it with randomized multi-output covers on *both* Boolean engines
+(the object truth tables and the packed bitset tables), exercise the
+espresso dialect corners (output aliases, ``.type``, don't-cares,
+comments, unknown directives), and pin the error messages to the line
+numbers they must name.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction, Product
+from repro.boolean.packed import PackedTruthTable
+from repro.circuits.pla import (
+    PlaDocument,
+    parse_pla,
+    parse_pla_document,
+    pla_content_hash,
+    pla_statistics,
+    write_pla,
+    write_pla_document,
+)
+from repro.circuits.scale import layered_logic, random_pla
+from repro.exceptions import PlaFormatError
+
+
+def random_function(
+    seed: int, *, num_inputs: int = 6, num_outputs: int = 3, num_products: int = 12
+) -> BooleanFunction:
+    """A random multi-output cover, dense enough to share cubes."""
+    rng = random.Random(seed)
+    products = []
+    for _ in range(num_products):
+        cube = Cube(rng.choice((0, 1, 2)) for _ in range(num_inputs))
+        outputs = frozenset(
+            index
+            for index in range(num_outputs)
+            if rng.random() < 0.6
+        ) or frozenset({rng.randrange(num_outputs)})
+        products.append(Product(cube, outputs))
+    return BooleanFunction(
+        [f"x{i}" for i in range(num_inputs)],
+        [f"f{i}" for i in range(num_outputs)],
+        products,
+        name=f"rand{seed}",
+    )
+
+
+def object_tables(function: BooleanFunction) -> list[list[bool]]:
+    return [
+        function.cover_for_output(index).truth_table()
+        for index in range(function.num_outputs)
+    ]
+
+
+def packed_tables(function: BooleanFunction) -> list[PackedTruthTable]:
+    return [
+        PackedTruthTable.from_cover(function.cover_for_output(index))
+        for index in range(function.num_outputs)
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_object_engine_truth_tables_identical(self, seed):
+        function = random_function(seed)
+        parsed = parse_pla(write_pla(function), name=function.name)
+        assert parsed.num_inputs == function.num_inputs
+        assert parsed.num_outputs == function.num_outputs
+        assert object_tables(parsed) == object_tables(function)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_packed_engine_truth_tables_identical(self, seed):
+        function = random_function(seed + 100)
+        parsed = parse_pla(write_pla(function), name=function.name)
+        assert packed_tables(parsed) == packed_tables(function)
+
+    @pytest.mark.parametrize("family", [random_pla, layered_logic])
+    def test_scale_generator_round_trip(self, family):
+        function = family(10, 4, 40, seed=5)
+        parsed = parse_pla(write_pla(function), name=function.name)
+        assert packed_tables(parsed) == packed_tables(function)
+
+    def test_names_survive_the_round_trip(self):
+        function = random_function(3)
+        text = write_pla(function)
+        assert ".ilb x0 x1 x2 x3 x4 x5" in text
+        parsed = parse_pla(text)
+        assert parsed.input_names == function.input_names
+        assert parsed.output_names == function.output_names
+
+    def test_dc_set_survives_the_document_round_trip(self):
+        function = random_function(4, num_inputs=4, num_products=6)
+        dc = random_function(5, num_inputs=4, num_products=2)
+        document = PlaDocument(
+            function=function, dc_function=dc, pla_type="fd", declared_products=None
+        )
+        parsed = parse_pla_document(write_pla_document(document))
+        assert parsed.pla_type == "fd"
+        assert parsed.dc_function is not None
+        assert object_tables(parsed.function) == object_tables(function)
+        assert object_tables(parsed.dc_function) == object_tables(dc)
+
+
+class TestDialect:
+    def test_output_aliases(self):
+        # '4' is on-set, '~' is off/no-connect, '2' is don't-care.
+        text = "\n".join([".i 2", ".o 3", "11 4~2", ".e"])
+        document = parse_pla_document(text)
+        assert object_tables(document.function)[0] == object_tables(
+            parse_pla(".i 2\n.o 1\n11 1")
+        )[0]
+        assert document.function.num_products == 1
+        assert document.dc_function is not None
+
+    def test_input_alias_two_is_dont_care(self):
+        assert object_tables(parse_pla(".i 2\n.o 1\n12 1")) == object_tables(
+            parse_pla(".i 2\n.o 1\n1- 1")
+        )
+
+    def test_type_f_drops_dc_rows(self):
+        text = ".i 2\n.o 1\n.type f\n11 1\n00 -\n"
+        document = parse_pla_document(text)
+        assert document.pla_type == "f"
+        assert document.dc_function is None
+        assert document.function.num_products == 1
+
+    def test_comments_and_unknown_directives_ignored(self):
+        text = (
+            "# leading comment\n.i 2\n.o 1\n.phase 1\n"
+            "11 1  # trailing comment\n.e\nignored garbage after .e\n"
+        )
+        function = parse_pla(text)
+        assert function.num_products == 1
+
+    def test_single_token_rows_split_at_declared_width(self):
+        assert object_tables(parse_pla(".i 2\n.o 1\n111")) == object_tables(
+            parse_pla(".i 2\n.o 1\n11 1")
+        )
+
+
+class TestContentHash:
+    def test_invariant_to_formatting_and_row_order(self):
+        a = ".i 2\n.o 1\n10 1\n01 1\n"
+        b = "# same cover, shuffled and commented\n.i 2\n.o 1\n01 1\n10 1\n.e\n"
+        assert pla_content_hash(a) == pla_content_hash(b)
+
+    def test_sensitive_to_the_cover(self):
+        a = ".i 2\n.o 1\n10 1\n"
+        b = ".i 2\n.o 1\n11 1\n"
+        assert pla_content_hash(a) != pla_content_hash(b)
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = pla_statistics(parse_pla_document(".i 3\n.o 2\n.p 2\n1-0 11\n011 01\n"))
+        assert stats["inputs"] == 3
+        assert stats["outputs"] == 2
+        assert stats["products"] == 2
+        assert stats["literals"] == 5
+        assert stats["connections"] == 3
+
+
+class TestMalformedInputs:
+    """Every parse error must name the offending line."""
+
+    def test_cube_width_mismatch_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 3: cube '101'"):
+            parse_pla(".i 4\n.o 1\n101 1\n")
+
+    def test_output_width_mismatch_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 4: output part"):
+            parse_pla(".i 2\n.o 2\n11 10\n00 1\n")
+
+    def test_invalid_input_character_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 3"):
+            parse_pla(".i 2\n.o 1\n1x 1\n")
+
+    def test_invalid_output_character_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 3"):
+            parse_pla(".i 2\n.o 1\n11 z\n")
+
+    def test_unsplittable_row_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 1"):
+            parse_pla("11 1 1\n.i 2\n.o 1\n")
+
+    def test_bad_directive_value_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 1"):
+            parse_pla(".i two\n.o 1\n")
+
+    def test_unknown_type_names_the_line(self):
+        with pytest.raises(PlaFormatError, match=r"line 3: unknown .type"):
+            parse_pla(".i 2\n.o 1\n.type esop\n11 1\n")
+
+    def test_missing_declarations(self):
+        with pytest.raises(PlaFormatError, match=r"\.i or \.o"):
+            parse_pla("11 1\n")
+
+    def test_ilb_count_mismatch(self):
+        with pytest.raises(PlaFormatError, match=r"\.ilb names 3"):
+            parse_pla(".i 2\n.o 1\n.ilb a b c\n11 1\n")
+
+    def test_write_rejects_bad_type(self):
+        with pytest.raises(PlaFormatError, match="esop"):
+            write_pla(random_function(1), pla_type="esop")
